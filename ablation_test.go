@@ -1,0 +1,218 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// decay parameters β and α, the evaluation exploration depth, the
+// landmark store size and the landmark count. Each reports quality
+// metrics alongside time so the trade-off the paper discusses is visible
+// from one `go test -bench=Ablation` run.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+func ablationDataset(b *testing.B) *gen.Dataset {
+	b.Helper()
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 3000
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// trRecallAt10 runs a small link-prediction round with the given params.
+func trRecallAt10(b *testing.B, ds *gen.Dataset, params core.Params, depth int) float64 {
+	b.Helper()
+	proto := eval.DefaultProtocol()
+	proto.Trials = 1
+	proto.TestSize = 30
+	proto.Negatives = 500
+	factory := eval.MethodFactory{
+		Name: "Tr",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			eng, err := core.NewEngine(g, authority.Compute(g), ds.Sim, params)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewRecommender(eng, core.WithDepth(depth)), nil
+		},
+	}
+	curves, err := eval.RunLinkPrediction(ds.Graph, proto, []eval.MethodFactory{factory}, []int{10}, topics.None)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return curves[0].RecallAt(10)
+}
+
+// BenchmarkAblationDecayBeta sweeps the path decay β around the paper's
+// 0.0005.
+func BenchmarkAblationDecayBeta(b *testing.B) {
+	ds := ablationDataset(b)
+	for _, beta := range []float64{0.00005, 0.0005, 0.005, 0.05} {
+		b.Run(floatName("beta", beta), func(b *testing.B) {
+			params := core.DefaultParams()
+			params.Beta = beta
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(trRecallAt10(b, ds, params, 4), "recall@10")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecayAlpha sweeps the edge-distance decay α.
+func BenchmarkAblationDecayAlpha(b *testing.B) {
+	ds := ablationDataset(b)
+	for _, alpha := range []float64{0.25, 0.5, 0.85, 1.0} {
+		b.Run(floatName("alpha", alpha), func(b *testing.B) {
+			params := core.DefaultParams()
+			params.Alpha = alpha
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(trRecallAt10(b, ds, params, 4), "recall@10")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQueryDepth sweeps the evaluation exploration depth:
+// with the paper's tiny β, depth 3–4 is effectively converged.
+func BenchmarkAblationQueryDepth(b *testing.B) {
+	ds := ablationDataset(b)
+	for _, depth := range []int{2, 3, 4, 6} {
+		b.Run(intName("depth", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(trRecallAt10(b, ds, core.DefaultParams(), depth), "recall@10")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStoreSize compares landmark store bounds (Table 6's
+// L10/L100/L1000 columns) on approximation quality.
+func BenchmarkAblationStoreSize(b *testing.B) {
+	ds := ablationDataset(b)
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms, _ := landmark.Select(ds.Graph, landmark.InDeg, 20, landmark.DefaultSelectConfig())
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 1000})
+	exact := core.NewRecommender(eng)
+	queries := []graph.NodeID{11, 222, 1333, 2444}
+	exactTop := make([][]ranking.Scored, len(queries))
+	for i, u := range queries {
+		exactTop[i] = exact.Recommend(u, 0, 100)
+	}
+	for _, size := range []int{10, 100, 1000} {
+		b.Run(intName("L", size), func(b *testing.B) {
+			st := store.Truncated(size)
+			ap, err := landmark.NewApprox(eng, st, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				tau := 0.0
+				for qi, u := range queries {
+					tau += ranking.KendallTopK(exactTop[qi], ap.Recommend(u, 0, 100))
+				}
+				b.ReportMetric(tau/float64(len(queries)), "kendall-tau")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLandmarkCount sweeps |L|: more landmarks mean more
+// preprocessing but more met per query.
+func BenchmarkAblationLandmarkCount(b *testing.B) {
+	ds := ablationDataset(b)
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{5, 20, 60} {
+		b.Run(intName("landmarks", k), func(b *testing.B) {
+			lms, err := landmark.Select(ds.Graph, landmark.InDeg, k, landmark.DefaultSelectConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 200})
+			ap, err := landmark.NewApprox(eng, store, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				met := 0
+				for _, u := range []graph.NodeID{11, 222, 1333, 2444} {
+					met += ap.Query(u, 0, 100).LandmarksMet
+				}
+				b.ReportMetric(float64(met)/4, "landmarks-met")
+			}
+		})
+	}
+}
+
+func floatName(prefix string, v float64) string {
+	return fmt.Sprintf("%s=%g", prefix, v)
+}
+
+func intName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}
+
+// BenchmarkAblationScalability sweeps the graph size and reports the
+// exact and approximate query times side by side: the gap is what grows
+// with |E| (the exact exploration touches most of the graph, the
+// depth-2 approximation only the out-degree² neighborhood), which is why
+// the paper's full-size gains reach 2–3 orders of magnitude.
+func BenchmarkAblationScalability(b *testing.B) {
+	for _, nodes := range []int{1000, 3000, 9000} {
+		b.Run(intName("nodes", nodes), func(b *testing.B) {
+			cfg := gen.DefaultTwitterConfig()
+			cfg.Nodes = nodes
+			ds, err := gen.Twitter(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			lms, _ := landmark.Select(ds.Graph, landmark.InDeg, 16, landmark.DefaultSelectConfig())
+			store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 200})
+			ap, err := landmark.NewApprox(eng, store, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exact := core.NewRecommender(eng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := graph.NodeID((i*131 + 7) % nodes)
+				t0 := nowNanos()
+				exact.Recommend(u, 0, 10)
+				tExact := nowNanos() - t0
+				t0 = nowNanos()
+				ap.Recommend(u, 0, 10)
+				tApprox := nowNanos() - t0
+				if tApprox == 0 {
+					tApprox = 1
+				}
+				b.ReportMetric(float64(tExact)/1e3, "exact-us")
+				b.ReportMetric(float64(tApprox)/1e3, "approx-us")
+				b.ReportMetric(float64(tExact)/float64(tApprox), "gain-x")
+			}
+		})
+	}
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,215 @@
+package repro
+
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation section (see DESIGN.md's experiment index). Each benchmark
+// regenerates its artifact on a bench-scale dataset and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// re-derives the paper's results end to end. Absolute values depend on
+// the synthetic datasets; the *shape* (who wins, by what factor, where
+// the crossovers fall) is the reproduction target — EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig is smaller than the trbench default so the full -bench=.
+// sweep stays in CI-friendly territory.
+func benchConfig() experiments.Config {
+	cfg := experiments.DefaultConfig()
+	cfg.Twitter.Nodes = 4000
+	cfg.DBLP.Authors = 3000
+	cfg.Protocol.Trials = 1
+	cfg.Protocol.TestSize = 40
+	cfg.Landmarks = 12
+	cfg.QueryNodes = 10
+	return cfg
+}
+
+// sharedRunner caches the generated datasets across benchmarks.
+var sharedRunner = sync.OnceValue(func() *experiments.Runner {
+	return experiments.NewRunner(benchConfig())
+})
+
+func BenchmarkTable2DatasetProperties(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Twitter.AvgOut, "tw-avg-out")
+		b.ReportMetric(float64(res.Twitter.MaxIn), "tw-max-in")
+		b.ReportMetric(res.DBLP.AvgOut, "dblp-avg-out")
+	}
+}
+
+func BenchmarkFig3EdgeTopicDistribution(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Skew(), "topic-skew")
+	}
+}
+
+func BenchmarkFig4RecallAtN(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRecall(b, res, 10)
+	}
+}
+
+func BenchmarkFig5PrecisionRecall(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRecall(b, res, 20)
+	}
+}
+
+func BenchmarkFig6RecallAtNDBLP(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRecall(b, res, 10)
+	}
+}
+
+func BenchmarkFig7PrecisionRecallDBLP(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRecall(b, res, 20)
+	}
+}
+
+func BenchmarkFig8RecallPopularity(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, g := range res.Groups {
+			if g.Group == "TW min" {
+				b.ReportMetric(g.RecallAt["Tr"], "tw-min-tr@10")
+				b.ReportMetric(g.RecallAt["TwitterRank"], "tw-min-twr@10")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9RecallTopicPopularity(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RecallAt["social"]["Tr"], "social-tr@10")
+		b.ReportMetric(res.RecallAt["technology"]["Tr"], "tech-tr@10")
+	}
+}
+
+func BenchmarkFig10UserStudyTwitter(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m, ok := res.ResultFor("Tr"); ok {
+			b.ReportMetric(m.Avg, "tr-avg-mark")
+		}
+		if m, ok := res.ResultFor("TwitterRank"); ok {
+			b.ReportMetric(m.Avg, "twr-avg-mark")
+		}
+	}
+}
+
+func BenchmarkTable3UserStudyDBLP(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m, ok := res.ResultFor("Tr"); ok {
+			b.ReportMetric(m.Avg, "tr-avg-mark")
+			b.ReportMetric(m.BestShare*100, "tr-best-%")
+		}
+		if m, ok := res.ResultFor("TwitterRank"); ok {
+			b.ReportMetric(m.Avg, "twr-avg-mark")
+		}
+	}
+}
+
+func BenchmarkTable5LandmarkSelection(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var fastest, slowest float64
+		for _, row := range res.Rows {
+			s := float64(row.SelectPerLandmark)
+			if fastest == 0 || s < fastest {
+				fastest = s
+			}
+			if s > slowest {
+				slowest = s
+			}
+		}
+		b.ReportMetric(slowest/fastest, "select-spread-x")
+	}
+}
+
+func BenchmarkTable6ApproximateQuality(b *testing.B) {
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bestGain, tau1000 float64
+		for _, row := range res.Rows {
+			if row.Gain > bestGain {
+				bestGain = row.Gain
+			}
+			tau1000 += row.Tau[1000]
+		}
+		b.ReportMetric(bestGain, "best-gain-x")
+		b.ReportMetric(tau1000/float64(len(res.Rows)), "avg-tau-L1000")
+	}
+}
+
+// reportRecall reports each method's recall at cutoff n.
+func reportRecall(b *testing.B, res *experiments.RecallResult, n int) {
+	b.Helper()
+	for _, c := range res.Curves {
+		b.ReportMetric(c.RecallAt(n), c.Method+"-recall")
+	}
+}

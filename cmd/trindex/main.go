@@ -1,0 +1,116 @@
+// Command trindex builds, persists and inspects landmark indexes — the
+// preprocessing artifact of Section 4. Build once, serve many times.
+//
+//	trgen -kind twitter -nodes 8000 -save tw.trg
+//	trindex -graph tw.trg -strategy In-Deg -landmarks 50 -topn 1000 -out tw.lmk
+//	trindex -inspect tw.lmk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by trgen -save")
+		strategy  = flag.String("strategy", "In-Deg", "landmark selection strategy")
+		k         = flag.Int("landmarks", 50, "landmark count")
+		topN      = flag.Int("topn", 1000, "recommendations kept per landmark per topic")
+		out       = flag.String("out", "", "output index file")
+		inspect   = flag.String("inspect", "", "print a summary of an existing index file and exit")
+		workers   = flag.Int("workers", 0, "preprocessing parallelism (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectIndex(*inspect)
+		return
+	}
+	if *graphPath == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: trindex -graph g.trg -out g.lmk [-strategy S -landmarks K -topn N]")
+		fmt.Fprintln(os.Stderr, "       trindex -inspect g.lmk")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.ReadGraph(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	log.Printf("graph: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+
+	sim := topics.TaxonomyFor(g.Vocabulary()).SimMatrix()
+	eng, err := core.NewEngine(g, authority.Compute(g), sim, core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	selCfg := landmark.DefaultSelectConfig()
+	low, high := graph.InDegreePercentileCutoffs(g, 0.25)
+	selCfg.MinFollow, selCfg.MaxFollow = low, high
+	selCfg.MinPublish, selCfg.MaxPublish = low, high
+	t0 := time.Now()
+	lms, err := landmark.Select(g, landmark.Strategy(*strategy), *k, selCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("selected %d landmarks with %s in %s", len(lms), *strategy, time.Since(t0).Round(time.Microsecond))
+
+	store, stats := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: *topN, Workers: *workers})
+	log.Printf("preprocessed in %s wall (%s per landmark, %0.1f MB)",
+		stats.WallTime.Round(time.Millisecond), stats.PerLandmark().Round(time.Millisecond),
+		float64(store.Bytes())/(1<<20))
+
+	of, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := store.WriteTo(of)
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatalf("writing index: %v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes, %d landmarks, top-%d lists)\n", *out, n, store.Len(), store.TopN())
+}
+
+func inspectIndex(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	store, err := landmark.ReadStore(f)
+	if err != nil {
+		log.Fatalf("reading index: %v", err)
+	}
+	fmt.Printf("landmarks: %d\ntopics:    %d\ntop-n:     %d\nsize:      %.1f MB\n",
+		store.Len(), store.VocabLen(), store.TopN(), float64(store.Bytes())/(1<<20))
+	for i, lm := range store.Landmarks() {
+		if i == 10 {
+			fmt.Printf("... and %d more\n", store.Len()-10)
+			break
+		}
+		d := store.Get(lm)
+		entries := 0
+		for t := range d.Topical {
+			entries += d.Topical[t].Len()
+		}
+		fmt.Printf("landmark %-8d iterations %-3d stored entries %d\n", lm, d.Iterations, entries)
+	}
+}

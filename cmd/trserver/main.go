@@ -1,0 +1,97 @@
+// Command trserver runs the recommendation system as an HTTP/JSON
+// service over a generated (or loaded) dataset.
+//
+//	trserver -nodes 8000 -landmarks 30 -addr :8080
+//	curl 'localhost:8080/recommend?user=42&topic=technology&n=5'
+//	curl 'localhost:8080/recommend?user=42&topic=technology&method=tr'
+//	curl -X POST localhost:8080/updates -d '{"updates":[{"src":1,"dst":2,"topics":["technology"]}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/server"
+	"repro/internal/topics"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		nodes     = flag.Int("nodes", 8000, "accounts in the generated graph (ignored with -load)")
+		seed      = flag.Uint64("seed", 1, "dataset seed")
+		load      = flag.String("load", "", "load a graph written by trgen -save instead of generating")
+		landmarkN = flag.Int("landmarks", 30, "landmark count (In-Deg selection)")
+		topN      = flag.Int("store-topn", 500, "recommendations kept per landmark per topic")
+		strategy  = flag.String("refresh", "lazy", "landmark refresh strategy: eager, lazy, threshold")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var sim *topics.SimMatrix
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = graph.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", *load, err)
+		}
+		sim = topics.TaxonomyFor(g.Vocabulary()).SimMatrix()
+	} else {
+		cfg := gen.DefaultTwitterConfig()
+		cfg.Nodes = *nodes
+		cfg.Seed = *seed
+		ds, err := gen.Twitter(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = ds.Graph
+		sim = ds.Sim
+	}
+
+	var strat dynamic.Strategy
+	switch *strategy {
+	case "eager":
+		strat = dynamic.Eager
+	case "lazy":
+		strat = dynamic.Lazy
+	case "threshold":
+		strat = dynamic.Threshold
+	default:
+		log.Fatalf("unknown refresh strategy %q", *strategy)
+	}
+
+	lms, err := landmark.Select(g, landmark.InDeg, *landmarkN, landmark.DefaultSelectConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("preprocessing %d landmarks over %d nodes / %d edges...", len(lms), g.NumNodes(), g.NumEdges())
+	start := time.Now()
+	mgr, err := dynamic.NewManager(g, lms, dynamic.Config{
+		Params:     core.DefaultParams(),
+		Sim:        sim,
+		StoreTopN:  *topN,
+		QueryDepth: 2,
+		Strategy:   strat,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ready in %s", time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(mgr, core.DefaultParams().Beta)
+	fmt.Printf("serving on %s (try /health, /topics, /stats, /recommend?user=42&topic=technology)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Finding Users of
+// Interest in Micro-blogging Systems" (Constantin, Dahimene, Grossetti,
+// du Mouza — EDBT 2016): the Tr topical user-recommendation score over a
+// labeled social graph, its landmark-based approximate computation, the
+// Katz and TwitterRank baselines, the synthetic dataset substrates, and a
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation.
+//
+// The root package only hosts repository-level benchmarks (bench_test.go);
+// the library lives under internal/ and the runnable entry points under
+// cmd/ and examples/. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

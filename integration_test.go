@@ -1,0 +1,119 @@
+package repro
+
+// End-to-end integration test: generate a labeled dataset, build the
+// exact engine, preprocess landmarks, persist and reload the store, and
+// check that the landmark-approximate answers track the exact ones — the
+// full production flow of the paper's system in one pass.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/ranking"
+)
+
+func TestEndToEndWhoToFollow(t *testing.T) {
+	// 1. Dataset.
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 1500
+	cfg.Seed = 99
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(ds.Graph)
+	if st.LabeledEdge != st.Edges {
+		t.Fatalf("dataset not fully labeled: %d of %d", st.LabeledEdge, st.Edges)
+	}
+
+	// 2. Exact engine, convergence-bound sanity (Proposition 3).
+	params := core.DefaultParams()
+	if bound := core.MaxBeta(ds.Graph); params.Beta >= bound {
+		t.Fatalf("paper β %g violates the convergence bound %g on this graph", params.Beta, bound)
+	}
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Landmarks: select, preprocess, persist, reload.
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 15, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, stats := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 500})
+	if stats.Landmarks != len(lms) {
+		t.Fatalf("preprocessed %d of %d landmarks", stats.Landmarks, len(lms))
+	}
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err = landmark.ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Queries: approximate answers must track the exact computation.
+	approx, err := landmark.NewApprox(eng, store, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := core.NewRecommender(eng)
+	tech := ds.Vocabulary().MustLookup("technology")
+
+	queries, overlapSum, tauSum := 0, 0.0, 0.0
+	for u := graph.NodeID(1); u < 1500; u += 151 {
+		if ds.Graph.OutDegree(u) < 3 {
+			continue
+		}
+		ex := exact.Recommend(u, tech, 10)
+		if len(ex) == 0 {
+			continue
+		}
+		ap := approx.Recommend(u, tech, 10)
+		em := map[graph.NodeID]bool{}
+		for _, s := range ex {
+			em[s.Node] = true
+		}
+		hit := 0
+		for _, s := range ap {
+			if em[s.Node] {
+				hit++
+			}
+		}
+		overlapSum += float64(hit) / float64(len(ex))
+		tauSum += ranking.KendallTopK(ex, ap)
+		queries++
+	}
+	if queries < 3 {
+		t.Fatalf("only %d usable queries", queries)
+	}
+	if avg := overlapSum / float64(queries); avg < 0.6 {
+		t.Errorf("approximate top-10 overlap with exact = %.2f, want >= 0.6", avg)
+	}
+	if avg := tauSum / float64(queries); avg > 0.35 {
+		t.Errorf("Kendall tau to exact = %.2f, want <= 0.35 (paper reports 0.06-0.13 on L1000)", avg)
+	}
+
+	// 5. Multi-topic query through the metasearch combination.
+	science := ds.Vocabulary().MustLookup("science")
+	var querier graph.NodeID
+	for u := graph.NodeID(0); u < 1500; u++ {
+		if ds.Graph.OutDegree(u) >= 5 {
+			querier = u
+			break
+		}
+	}
+	multi := exact.RecommendQuery(querier, []core.QueryTopic{
+		{Topic: tech, Weight: 0.7}, {Topic: science, Weight: 0.3},
+	}, 10)
+	if len(multi) == 0 {
+		t.Error("multi-topic query returned nothing")
+	}
+}

@@ -1,0 +1,138 @@
+// Package authority computes the per-node topical authority score of the
+// paper:
+//
+//	auth(u, t) = |Γu(t)|/|Γu|  ×  log(1+|Γu(t)|) / log(1+max_v |Γv(t)|)
+//	             └── local ──┘    └──────────── global ────────────┘
+//
+// The local factor favors accounts specialized on topic t; the global
+// factor favors accounts widely followed on t, log-smoothed so that very
+// specialized small accounts and generalist popular accounts end up with
+// comparable scores. If nobody follows u on t, both factors (and the
+// score) are 0.
+//
+// |Γu| and |Γu(t)| only need each node's incoming edges; the per-topic
+// maximum max_v |Γv(t)| is a global quantity that the paper assumes is
+// stored and refreshed periodically — Table mirrors that: it is computed
+// once per graph and can be refreshed with Recompute.
+package authority
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Table holds auth(u, t) for every node and topic of a graph.
+type Table struct {
+	vocab  *topics.Vocabulary
+	n      int
+	scores []float64 // n × T, row-major by node
+	maxFol []uint32  // per topic: max_v |Γv(t)|
+}
+
+// Compute builds the authority table for g.
+func Compute(g *graph.Graph) *Table {
+	t := &Table{
+		vocab:  g.Vocabulary(),
+		n:      g.NumNodes(),
+		scores: make([]float64, g.NumNodes()*g.Vocabulary().Len()),
+		maxFol: make([]uint32, g.Vocabulary().Len()),
+	}
+	t.Recompute(g)
+	return t
+}
+
+// Recompute refreshes every score from the graph's current topology. The
+// graph must have the same node count and vocabulary the table was built
+// for.
+func (t *Table) Recompute(g *graph.Graph) {
+	T := t.vocab.Len()
+	counts := make([]uint32, T)
+
+	// First pass: per-topic follower counts and their maxima.
+	for i := range t.maxFol {
+		t.maxFol[i] = 0
+	}
+	all := make([]uint32, t.n*T)
+	for u := 0; u < t.n; u++ {
+		g.FollowerTopicCounts(graph.NodeID(u), counts)
+		copy(all[u*T:(u+1)*T], counts)
+		for i, c := range counts {
+			if c > t.maxFol[i] {
+				t.maxFol[i] = c
+			}
+		}
+	}
+
+	// Second pass: scores.
+	logMax := make([]float64, T)
+	for i, m := range t.maxFol {
+		logMax[i] = math.Log(1 + float64(m))
+	}
+	for u := 0; u < t.n; u++ {
+		total := float64(g.InDegree(graph.NodeID(u)))
+		row := t.scores[u*T : (u+1)*T]
+		for i := 0; i < T; i++ {
+			c := float64(all[u*T+i])
+			if c == 0 || total == 0 || logMax[i] == 0 {
+				row[i] = 0
+				continue
+			}
+			local := c / total
+			global := math.Log(1+c) / logMax[i]
+			row[i] = local * global
+		}
+	}
+}
+
+// ApplyEdgeChange refreshes the scores of one node after a follow edge
+// toward it was added or removed. This is the incremental maintenance the
+// paper describes: |Γu| and |Γu(t)| only need the node's own incoming
+// edges, while the global per-topic maximum is kept as a monotone upper
+// bound (raised immediately when exceeded, lowered only by the periodic
+// full Recompute — the paper: "we can assume this value is stored and
+// re-computed periodically", with the log damping any drift).
+//
+// g must be the graph state *after* the change.
+func (t *Table) ApplyEdgeChange(g *graph.Graph, dst graph.NodeID) {
+	T := t.vocab.Len()
+	counts := make([]uint32, T)
+	g.FollowerTopicCounts(dst, counts)
+	for i, c := range counts {
+		if c > t.maxFol[i] {
+			t.maxFol[i] = c
+		}
+	}
+	total := float64(g.InDegree(dst))
+	row := t.scores[int(dst)*T : (int(dst)+1)*T]
+	for i := 0; i < T; i++ {
+		c := float64(counts[i])
+		logMax := math.Log(1 + float64(t.maxFol[i]))
+		if c == 0 || total == 0 || logMax == 0 {
+			row[i] = 0
+			continue
+		}
+		row[i] = (c / total) * (math.Log(1+c) / logMax)
+	}
+}
+
+// Score returns auth(u, t).
+func (t *Table) Score(u graph.NodeID, topic topics.ID) float64 {
+	return t.scores[int(u)*t.vocab.Len()+int(topic)]
+}
+
+// Row returns the authority scores of u for every topic. The slice aliases
+// internal storage and must not be modified.
+func (t *Table) Row(u graph.NodeID) []float64 {
+	T := t.vocab.Len()
+	return t.scores[int(u)*T : (int(u)+1)*T]
+}
+
+// MaxFollowersOnTopic returns max_v |Γv(t)|, the global normalizer.
+func (t *Table) MaxFollowersOnTopic(topic topics.ID) int {
+	return int(t.maxFol[topic])
+}
+
+// Vocabulary returns the topic vocabulary the table covers.
+func (t *Table) Vocabulary() *topics.Vocabulary { return t.vocab }

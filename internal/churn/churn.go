@@ -1,0 +1,139 @@
+// Package churn simulates follow-graph dynamics: "many following links
+// have a short lifespan" (Section 6). A Stream produces a timed sequence
+// of follow and unfollow events over an existing graph — new links appear
+// with topical/triadic preference, and a configurable share of links dies
+// young — so the dynamic-maintenance machinery can be driven with
+// realistic update patterns instead of hand-written batches.
+package churn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Config shapes the event stream.
+type Config struct {
+	// Events is the stream length.
+	Events int
+	// ShortLived is the fraction of newly created links that get
+	// unfollowed again later in the stream.
+	ShortLived float64
+	// Lifespan is how many events a short-lived link survives (mean of a
+	// geometric-ish draw).
+	Lifespan int
+	// UnfollowExisting is the probability an event removes a pre-existing
+	// edge rather than creating a new one.
+	UnfollowExisting float64
+	// Seed drives the stream.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the short-lifespan observation: roughly a third
+// of new links die within a few dozen events.
+func DefaultConfig() Config {
+	return Config{Events: 100, ShortLived: 0.35, Lifespan: 20, UnfollowExisting: 0.15, Seed: 1}
+}
+
+// Generate builds the event stream for a graph. Events reference only
+// valid nodes; removals target either links created earlier in the stream
+// (short-lived links) or edges of the base graph.
+func Generate(g *graph.Graph, cfg Config) ([]dynamic.Update, error) {
+	if cfg.Events <= 0 {
+		return nil, fmt.Errorf("churn: Events must be positive")
+	}
+	if cfg.Lifespan < 1 {
+		cfg.Lifespan = 1
+	}
+	r := rand.New(rand.NewPCG(cfg.Seed, 0xc4c4))
+	n := g.NumNodes()
+	existing := g.Edges()
+	// pending[i] holds an unfollow scheduled for stream position i.
+	pending := make(map[int][]dynamic.Update)
+	live := make(map[graph.EdgeKey]bool, len(existing))
+	for _, e := range existing {
+		live[graph.KeyOf(e.Src, e.Dst)] = true
+	}
+
+	out := make([]dynamic.Update, 0, cfg.Events)
+	for i := 0; len(out) < cfg.Events; i++ {
+		// Scheduled deaths first.
+		for _, up := range pending[i] {
+			if len(out) == cfg.Events {
+				break
+			}
+			if live[graph.KeyOf(up.Edge.Src, up.Edge.Dst)] {
+				out = append(out, up)
+				delete(live, graph.KeyOf(up.Edge.Src, up.Edge.Dst))
+			}
+		}
+		delete(pending, i)
+		if len(out) == cfg.Events {
+			break
+		}
+
+		if r.Float64() < cfg.UnfollowExisting && len(existing) > 0 {
+			// Kill a random pre-existing edge.
+			e := existing[r.IntN(len(existing))]
+			if !live[graph.KeyOf(e.Src, e.Dst)] {
+				continue
+			}
+			out = append(out, dynamic.Update{Edge: e, Add: false})
+			delete(live, graph.KeyOf(e.Src, e.Dst))
+			continue
+		}
+
+		// A new follow: triadic when possible, random otherwise; labeled
+		// with one of the target's publishing topics.
+		src := graph.NodeID(r.IntN(n))
+		var dst graph.NodeID
+		if dsts, _ := g.Out(src); len(dsts) > 0 && r.Float64() < 0.5 {
+			w := dsts[r.IntN(len(dsts))]
+			if fw, _ := g.Out(w); len(fw) > 0 {
+				dst = fw[r.IntN(len(fw))]
+			} else {
+				dst = graph.NodeID(r.IntN(n))
+			}
+		} else {
+			dst = graph.NodeID(r.IntN(n))
+		}
+		if src == dst || live[graph.KeyOf(src, dst)] {
+			continue
+		}
+		lbl := g.NodeTopics(dst)
+		if ts := lbl.Topics(); len(ts) > 0 {
+			lbl = topics.NewSet(ts[r.IntN(len(ts))])
+		} else {
+			lbl = topics.NewSet(topics.ID(r.IntN(g.Vocabulary().Len())))
+		}
+		up := dynamic.Update{Edge: graph.Edge{Src: src, Dst: dst, Label: lbl}, Add: true}
+		out = append(out, up)
+		live[graph.KeyOf(src, dst)] = true
+		if r.Float64() < cfg.ShortLived {
+			die := i + 1 + r.IntN(2*cfg.Lifespan)
+			pending[die] = append(pending[die], dynamic.Update{Edge: up.Edge, Add: false})
+		}
+	}
+	return out, nil
+}
+
+// Replay feeds the stream through a dynamic manager in batches of the
+// given size, returning the manager's final maintenance statistics.
+func Replay(m *dynamic.Manager, stream []dynamic.Update, batchSize int) (dynamic.Stats, error) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for i := 0; i < len(stream); i += batchSize {
+		end := i + batchSize
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := m.Apply(stream[i:end]); err != nil {
+			return dynamic.Stats{}, fmt.Errorf("churn: applying batch at %d: %w", i, err)
+		}
+	}
+	return m.Stats(), nil
+}

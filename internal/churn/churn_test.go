@@ -1,0 +1,132 @@
+package churn
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+)
+
+func TestGenerateStream(t *testing.T) {
+	cfg0 := gen.DefaultTwitterConfig()
+	cfg0.Nodes = 400
+	ds, err := gen.Twitter(cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Events = 150
+	stream, err := Generate(ds.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 150 {
+		t.Fatalf("%d events", len(stream))
+	}
+	adds, removes := 0, 0
+	liveNew := map[graph.EdgeKey]bool{}
+	for i, up := range stream {
+		if up.Edge.Src == up.Edge.Dst {
+			t.Fatalf("event %d is a self-follow", i)
+		}
+		if int(up.Edge.Src) >= 400 || int(up.Edge.Dst) >= 400 {
+			t.Fatalf("event %d references unknown node", i)
+		}
+		k := graph.KeyOf(up.Edge.Src, up.Edge.Dst)
+		if up.Add {
+			adds++
+			if up.Edge.Label.IsEmpty() {
+				t.Fatalf("event %d: follow without topics", i)
+			}
+			liveNew[k] = true
+		} else {
+			removes++
+			// A removal targets either a base edge or a link created
+			// earlier in the stream.
+			if !ds.Graph.HasEdge(up.Edge.Src, up.Edge.Dst) && !liveNew[k] {
+				t.Fatalf("event %d removes a never-existing edge", i)
+			}
+		}
+	}
+	if adds == 0 || removes == 0 {
+		t.Fatalf("stream should mix adds (%d) and removes (%d)", adds, removes)
+	}
+	// Short lifespans: a decent share of removals must target
+	// stream-created links.
+	if removes < 10 {
+		t.Errorf("expected more churn, got %d removals", removes)
+	}
+	// Determinism.
+	stream2, _ := Generate(ds.Graph, cfg)
+	for i := range stream {
+		if stream[i] != stream2[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ds := gen.RandomWith(10, 30, 1)
+	if _, err := Generate(ds.Graph, Config{Events: 0}); err == nil {
+		t.Error("zero events must error")
+	}
+}
+
+func TestReplayKeepsManagerConsistent(t *testing.T) {
+	cfg0 := gen.DefaultTwitterConfig()
+	cfg0.Nodes = 300
+	ds, err := gen.Twitter(cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 4, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dynamic.NewManager(ds.Graph, lms, dynamic.Config{
+		Params: core.DefaultParams(), Sim: ds.Sim, StoreTopN: 100,
+		QueryDepth: 2, Strategy: dynamic.Threshold, StaleBound: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Events = 40
+	stream, err := Generate(ds.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(m, stream, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batches != 5 {
+		t.Errorf("batches = %d, want 5", stats.Batches)
+	}
+	if stats.EdgesAdded+stats.EdgesRemoved != 40 {
+		t.Errorf("events lost: %+v", stats)
+	}
+	// The final graph reflects the net effect: every Add still present
+	// unless later removed; spot-check by replaying bookkeeping.
+	expect := map[graph.EdgeKey]bool{}
+	for _, e := range ds.Graph.Edges() {
+		expect[graph.KeyOf(e.Src, e.Dst)] = true
+	}
+	for _, up := range stream {
+		expect[graph.KeyOf(up.Edge.Src, up.Edge.Dst)] = up.Add
+	}
+	g := m.Graph()
+	for k, want := range expect {
+		src, dst := graph.NodeID(k>>32), graph.NodeID(k&0xFFFFFFFF)
+		if got := g.HasEdge(src, dst); got != want {
+			t.Fatalf("edge (%d,%d): present=%v want %v", src, dst, got, want)
+		}
+	}
+	// And the manager still answers queries.
+	if _, err := m.Recommend(1, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/textgen"
+	"repro/internal/topics"
+)
+
+func BenchmarkTrainPerceptron(b *testing.B) {
+	vocab := topics.MustVocabulary(topics.WebTopicNames)
+	profiles := make([]topics.Set, 500)
+	for u := range profiles {
+		profiles[u] = topics.NewSet(topics.ID(u % 18))
+	}
+	corpus := textgen.Generate(vocab, profiles, textgen.DefaultConfig())
+	examples := make([]Example, len(profiles))
+	for u := range profiles {
+		examples[u] = Example{Features: features(corpus.Posts[u]), Labels: profiles[u]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(vocab.Len(), examples, DefaultTrainConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline(b *testing.B) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 1000
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := make([]topics.Set, ds.Graph.NumNodes())
+	for u := range truth {
+		truth[u] = ds.Graph.NodeTopics(graph.NodeID(u))
+	}
+	corpus := textgen.Generate(ds.Vocabulary(), truth, textgen.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunPipeline(ds.Graph, corpus, truth, DefaultPipelineConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Classifier.Precision, "precision")
+	}
+}

@@ -1,0 +1,192 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/textgen"
+	"repro/internal/topics"
+)
+
+func smallCorpus(t *testing.T, n int, seed uint64) (*textgen.Corpus, []topics.Set, *topics.Vocabulary) {
+	t.Helper()
+	vocab := topics.MustVocabulary([]string{"a", "b", "c", "d"})
+	profiles := make([]topics.Set, n)
+	for u := range profiles {
+		profiles[u] = topics.NewSet(topics.ID(u % 4))
+		if u%3 == 0 {
+			profiles[u] = profiles[u].Add(topics.ID((u + 1) % 4))
+		}
+	}
+	cfg := textgen.DefaultConfig()
+	cfg.Seed = seed
+	return textgen.Generate(vocab, profiles, cfg), profiles, vocab
+}
+
+func TestSeedTaggerFindsProfileTopics(t *testing.T) {
+	c, profiles, _ := smallCorpus(t, 40, 1)
+	tagger := NewSeedTagger(c)
+	agree, total := 0, 0
+	for u, posts := range c.Posts {
+		got := tagger.Tag(posts)
+		if got.IsEmpty() {
+			continue
+		}
+		total++
+		if !got.Intersect(profiles[u]).IsEmpty() {
+			agree++
+		}
+	}
+	if total < 30 {
+		t.Fatalf("tagger labeled only %d of 40 users", total)
+	}
+	if float64(agree)/float64(total) < 0.9 {
+		t.Errorf("tagger agreement %d/%d too low", agree, total)
+	}
+}
+
+func TestPerceptronLearnsSeparableTask(t *testing.T) {
+	c, profiles, vocab := smallCorpus(t, 120, 2)
+	var examples []Example
+	for u := 0; u < 80; u++ {
+		examples = append(examples, Example{Features: features(c.Posts[u]), Labels: profiles[u]})
+	}
+	model, err := Train(vocab.Len(), examples, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []topics.Set
+	for u := 80; u < 120; u++ {
+		pred = append(pred, model.PredictPosts(c.Posts[u]))
+		truth = append(truth, profiles[u])
+	}
+	m := Evaluate(pred, truth)
+	if m.Precision < 0.7 || m.Recall < 0.7 {
+		t.Errorf("classifier too weak: precision %.2f recall %.2f", m.Precision, m.Recall)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(3, nil, DefaultTrainConfig()); err == nil {
+		t.Error("no examples must error")
+	}
+}
+
+func TestPredictNeverEmpty(t *testing.T) {
+	c, profiles, vocab := smallCorpus(t, 30, 3)
+	var examples []Example
+	for u := 0; u < 30; u++ {
+		examples = append(examples, Example{Features: features(c.Posts[u]), Labels: profiles[u]})
+	}
+	model, err := Train(vocab.Len(), examples, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a nonsense document gets the single best topic.
+	if got := model.Predict(map[int]float64{0: 1}); got.IsEmpty() {
+		t.Error("Predict must never return an empty set")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	pred := []topics.Set{topics.NewSet(0, 1), topics.NewSet(2)}
+	truth := []topics.Set{topics.NewSet(0), topics.NewSet(2, 3)}
+	m := Evaluate(pred, truth)
+	// tp = 1 + 1 = 2; pred count = 3; truth count = 3.
+	if m.Precision != 2.0/3 || m.Recall != 2.0/3 {
+		t.Errorf("metrics = %+v", m)
+	}
+	z := Evaluate(nil, nil)
+	if z.Precision != 0 || z.Recall != 0 {
+		t.Errorf("empty metrics = %+v", z)
+	}
+}
+
+func TestFollowerProfiles(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"a", "b", "c"})
+	b := graph.NewBuilder(vocab, 4)
+	// User 0 follows 1, 2, 3. Publishers: 1,2 on "a", 3 on "b".
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(0, 2, 0)
+	b.AddEdge(0, 3, 0)
+	g := b.MustFreeze()
+	publisher := []topics.Set{0, topics.NewSet(0), topics.NewSet(0), topics.NewSet(1)}
+	fp := FollowerProfiles(g, publisher, 1)
+	if fp[0] != topics.NewSet(0) {
+		t.Errorf("top-1 follower profile = %v, want {a}", fp[0])
+	}
+	fp = FollowerProfiles(g, publisher, 2)
+	if fp[0] != topics.NewSet(0, 1) {
+		t.Errorf("top-2 follower profile = %v, want {a,b}", fp[0])
+	}
+	if !fp[1].IsEmpty() {
+		t.Errorf("user with no followees must have empty profile, got %v", fp[1])
+	}
+}
+
+func TestLabelEdgesIntersectionRule(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"a", "b", "c"})
+	b := graph.NewBuilder(vocab, 3)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(0, 2, 0)
+	g := b.MustFreeze()
+	follower := []topics.Set{topics.NewSet(0, 1), 0, 0}
+	publisher := []topics.Set{0, topics.NewSet(1, 2), topics.NewSet(2)}
+	lg := LabelEdges(g, follower, publisher)
+	if lbl, _ := lg.EdgeLabel(0, 1); lbl != topics.NewSet(1) {
+		t.Errorf("label 0→1 = %v, want intersection {b}", lbl)
+	}
+	// Empty intersection falls back to the publisher's first topic.
+	if lbl, _ := lg.EdgeLabel(0, 2); lbl != topics.NewSet(2) {
+		t.Errorf("label 0→2 = %v, want fallback {c}", lbl)
+	}
+	if lg.NodeTopics(1) != publisher[1] {
+		t.Error("publisher profiles must become node topics")
+	}
+}
+
+func TestRunPipelineEndToEnd(t *testing.T) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 600
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	truth := make([]topics.Set, g.NumNodes())
+	for u := range truth {
+		truth[u] = g.NodeTopics(graph.NodeID(u))
+	}
+	corpus := textgen.Generate(g.Vocabulary(), truth, textgen.DefaultConfig())
+	res, err := RunPipeline(g, corpus, truth, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeedUsers < 30 {
+		t.Errorf("seed users = %d, want ≈10%% of 600", res.SeedUsers)
+	}
+	if res.Classifier.Precision < 0.6 {
+		t.Errorf("pipeline classifier precision %.2f too low", res.Classifier.Precision)
+	}
+	if res.Graph.NumEdges() != g.NumEdges() {
+		t.Errorf("relabeling must keep the topology: %d vs %d edges", res.Graph.NumEdges(), g.NumEdges())
+	}
+	st := graph.ComputeStats(res.Graph)
+	if st.LabeledEdge != st.Edges {
+		t.Errorf("pipeline output must be fully labeled: %d of %d", st.LabeledEdge, st.Edges)
+	}
+	for u := 0; u < res.Graph.NumNodes(); u++ {
+		if res.PublisherProfiles[u].IsEmpty() {
+			t.Fatalf("user %d got no publisher profile", u)
+		}
+	}
+}
+
+func TestRunPipelineErrors(t *testing.T) {
+	ds := gen.RandomWith(20, 60, 1)
+	corpus := textgen.Generate(ds.Vocabulary(), make([]topics.Set, 5), textgen.DefaultConfig())
+	if _, err := RunPipeline(ds.Graph, corpus, make([]topics.Set, 20), DefaultPipelineConfig()); err == nil {
+		t.Error("mismatched corpus size must error")
+	}
+}

@@ -1,0 +1,139 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/textgen"
+	"repro/internal/topics"
+)
+
+// Perceptron is a one-vs-rest multi-label linear classifier over hashed
+// bag-of-words features, trained with the averaged-perceptron rule. It is
+// the from-scratch stand-in for the paper's Mulan-trained multi-label SVM;
+// like the SVM it learns a linear separator per topic and predicts the set
+// of topics whose score clears zero.
+type Perceptron struct {
+	vocabLen int
+	// w holds the averaged weights, one FeatureDim row per topic; bias is
+	// the per-topic threshold.
+	w    [][]float64
+	bias []float64
+}
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	Epochs int
+	Seed   uint64
+}
+
+// DefaultTrainConfig returns standard settings.
+func DefaultTrainConfig() TrainConfig { return TrainConfig{Epochs: 5, Seed: 1} }
+
+// Example is one labeled training instance.
+type Example struct {
+	Features map[int]float64
+	Labels   topics.Set
+}
+
+// Train fits the classifier on labeled examples.
+func Train(vocabLen int, examples []Example, cfg TrainConfig) (*Perceptron, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("classify: no training examples")
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	p := &Perceptron{
+		vocabLen: vocabLen,
+		w:        make([][]float64, vocabLen),
+		bias:     make([]float64, vocabLen),
+	}
+	for t := 0; t < vocabLen; t++ {
+		p.w[t] = make([]float64, FeatureDim)
+	}
+	r := rand.New(rand.NewPCG(cfg.Seed, 0xbadc0de))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			ex := examples[i]
+			for t := 0; t < vocabLen; t++ {
+				score := p.bias[t]
+				for k, v := range ex.Features {
+					score += p.w[t][k] * v
+				}
+				y := -1.0
+				if ex.Labels.Has(topics.ID(t)) {
+					y = 1
+				}
+				if y*score <= 0 {
+					for k, v := range ex.Features {
+						p.w[t][k] += y * v
+					}
+					p.bias[t] += y
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Predict returns the topic set whose one-vs-rest scores are positive; if
+// none is, the single best topic is returned so every user gets a
+// profile.
+func (p *Perceptron) Predict(f map[int]float64) topics.Set {
+	var out topics.Set
+	bestT, bestS := topics.ID(0), negInf
+	for t := 0; t < p.vocabLen; t++ {
+		s := p.bias[t]
+		for k, v := range f {
+			s += p.w[t][k] * v
+		}
+		if s > 0 {
+			out = out.Add(topics.ID(t))
+		}
+		if s > bestS {
+			bestS, bestT = s, topics.ID(t)
+		}
+	}
+	if out.IsEmpty() {
+		out = out.Add(bestT)
+	}
+	return out
+}
+
+const negInf = -1e308
+
+// PredictPosts is Predict over a user's raw posts.
+func (p *Perceptron) PredictPosts(posts []textgen.Post) topics.Set {
+	return p.Predict(features(posts))
+}
+
+// Metrics reports multi-label precision/recall micro-averaged over users:
+// precision = |pred ∩ truth| / |pred|, recall = |pred ∩ truth| / |truth|.
+type Metrics struct {
+	Precision, Recall float64
+	Users             int
+}
+
+// Evaluate scores predictions against ground-truth label sets.
+func Evaluate(pred, truth []topics.Set) Metrics {
+	var tp, predCount, truthCount int
+	for i := range pred {
+		tp += pred[i].Intersect(truth[i]).Len()
+		predCount += pred[i].Len()
+		truthCount += truth[i].Len()
+	}
+	m := Metrics{Users: len(pred)}
+	if predCount > 0 {
+		m.Precision = float64(tp) / float64(predCount)
+	}
+	if truthCount > 0 {
+		m.Recall = float64(tp) / float64(truthCount)
+	}
+	return m
+}

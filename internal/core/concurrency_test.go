@@ -1,0 +1,55 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// TestEngineConcurrentExplores: an Engine is immutable and must support
+// concurrent explorations (each with its own scratch). Run with -race.
+func TestEngineConcurrentExplores(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 21)
+	e, err := NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference results computed sequentially.
+	want := make([]float64, 16)
+	for i := range want {
+		x := e.Explore(graph.NodeID(i), []topics.ID{topics.ID(i % 18)}, 0)
+		for _, v := range x.Reached {
+			want[i] += x.Sigma(v, 0)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scratch := NewScratch(e)
+			for rep := 0; rep < 3; rep++ {
+				x := e.ExploreOpts(graph.NodeID(i), []topics.ID{topics.ID(i % 18)},
+					ExploreOptions{Mode: Mode(rep % 3), Scratch: scratch})
+				got := 0.0
+				for _, v := range x.Reached {
+					got += x.Sigma(v, 0)
+				}
+				if !almostEqual(got, want[i], 1e-9) {
+					errs <- "concurrent exploration diverged"
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

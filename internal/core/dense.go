@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Mode selects the frontier representation of an exploration.
+type Mode int
+
+const (
+	// AutoMode picks DenseMode for deep explorations (which tend to touch
+	// most of the graph) and MapMode for shallow ones.
+	AutoMode Mode = iota
+	// MapMode keeps per-hop deltas in hash maps: cheap for small
+	// frontiers, allocation-heavy for graph-wide ones.
+	MapMode
+	// DenseMode keeps per-hop deltas in preallocated arrays indexed by
+	// node id plus an explicit frontier list: the preprocessing fast
+	// path.
+	DenseMode
+)
+
+// Scratch holds the dense buffers of one in-flight exploration so repeated
+// calls (landmark preprocessing, evaluation sweeps) do not reallocate.
+// A Scratch may be reused across calls but not shared concurrently.
+type Scratch struct {
+	n, k int
+
+	curSigma, nextSigma   []float64 // n × k
+	curTopoB, nextTopoB   []float64
+	curTopoAB, nextTopoAB []float64
+	inCur, inNext         []bool
+	curList, nextList     []graph.NodeID
+}
+
+// NewScratch sizes a scratch for the engine's graph and full vocabulary.
+func NewScratch(e *Engine) *Scratch {
+	n := e.g.NumNodes()
+	k := e.g.Vocabulary().Len()
+	return &Scratch{
+		n: n, k: k,
+		curSigma: make([]float64, n*k), nextSigma: make([]float64, n*k),
+		curTopoB: make([]float64, n), nextTopoB: make([]float64, n),
+		curTopoAB: make([]float64, n), nextTopoAB: make([]float64, n),
+		inCur: make([]bool, n), inNext: make([]bool, n),
+	}
+}
+
+// fits reports whether the scratch matches the requested dimensions.
+func (s *Scratch) fits(n, k int) bool { return s != nil && s.n == n && s.k >= k }
+
+// exploreDense is the array-backed propagation; semantics identical to the
+// map-based loop in ExploreOpts.
+func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, stop func(graph.NodeID) bool, s *Scratch) *Exploration {
+	k := len(ts)
+	n := e.g.NumNodes()
+	if !s.fits(n, k) {
+		s = NewScratch(e)
+	}
+	x := &Exploration{
+		Src:    src,
+		Topics: ts,
+		k:      k,
+		sigma:  make(map[graph.NodeID][]float64),
+		topoB:  make(map[graph.NodeID]float64),
+		topoAB: make(map[graph.NodeID]float64),
+	}
+
+	beta, alpha := e.params.Beta, e.params.Alpha
+	ab := alpha * beta
+
+	// Seed the frontier with the source.
+	s.curList = s.curList[:0]
+	s.nextList = s.nextList[:0]
+	s.curList = append(s.curList, src)
+	s.inCur[src] = true
+	base := int(src) * s.k
+	for ti := 0; ti < k; ti++ {
+		s.curSigma[base+ti] = 0
+	}
+	s.curTopoB[src] = 1
+	s.curTopoAB[src] = 1
+
+	clearCur := func() {
+		for _, u := range s.curList {
+			s.inCur[u] = false
+		}
+		s.curList = s.curList[:0]
+	}
+	defer clearCur() // leave the scratch clean for the next call
+
+	for depth := 1; depth <= maxDepth && len(s.curList) > 0; depth++ {
+		s.nextList = s.nextList[:0]
+		for _, w := range s.curList {
+			if stop != nil && w != src && stop(w) {
+				continue
+			}
+			wBase := int(w) * s.k
+			wTopoAB := s.curTopoAB[w]
+			wTopoB := s.curTopoB[w]
+			dsts, lbls := e.g.Out(w)
+			for i, v := range dsts {
+				vBase := int(v) * s.k
+				if !s.inNext[v] {
+					s.inNext[v] = true
+					s.nextList = append(s.nextList, v)
+					for ti := 0; ti < k; ti++ {
+						s.nextSigma[vBase+ti] = 0
+					}
+					s.nextTopoB[v] = 0
+					s.nextTopoAB[v] = 0
+				}
+				sr := e.simRow(lbls[i])
+				ar := e.authRow(v)
+				for ti, t := range ts {
+					unit := sr[t] * ar[t]
+					s.nextSigma[vBase+ti] += beta*s.curSigma[wBase+ti] + wTopoAB*(ab*unit)
+				}
+				s.nextTopoAB[v] += ab * wTopoAB
+				s.nextTopoB[v] += beta * wTopoB
+			}
+		}
+
+		// Accumulate the hop and test convergence (Algorithm 1 l. 15).
+		var topoMass float64
+		perTopic := make([]float64, k)
+		for _, v := range s.nextList {
+			vBase := int(v) * s.k
+			row, ok := x.sigma[v]
+			if !ok {
+				row = make([]float64, k)
+				x.sigma[v] = row
+				if v != src {
+					x.Reached = append(x.Reached, v)
+				}
+			}
+			for ti := 0; ti < k; ti++ {
+				d := s.nextSigma[vBase+ti]
+				row[ti] += d
+				perTopic[ti] += d
+			}
+			x.topoB[v] += s.nextTopoB[v]
+			x.topoAB[v] += s.nextTopoAB[v]
+			topoMass += s.nextTopoB[v]
+		}
+		x.Iterations = depth
+		denom := float64(len(x.sigma))
+		if denom == 0 {
+			denom = 1
+		}
+		maxTopicMass := 0.0
+		for _, m := range perTopic {
+			if m/denom > maxTopicMass {
+				maxTopicMass = m / denom
+			}
+		}
+		converged := maxTopicMass < e.params.Tol && topoMass/denom < e.params.Tol
+
+		// Swap frontiers.
+		clearCur()
+		s.curList, s.nextList = s.nextList, s.curList
+		s.curSigma, s.nextSigma = s.nextSigma, s.curSigma
+		s.curTopoB, s.nextTopoB = s.nextTopoB, s.curTopoB
+		s.curTopoAB, s.nextTopoAB = s.nextTopoAB, s.curTopoAB
+		s.inCur, s.inNext = s.inNext, s.inCur
+
+		if converged {
+			x.Converged = true
+			break
+		}
+	}
+	return x
+}

@@ -1,0 +1,237 @@
+// Package core implements the paper's primary contribution: the Tr
+// recommendation score σ(u, v, t) over a labeled social graph
+// (Definition 1), its iterative computation (Proposition 1 / Algorithm 1),
+// the score composition property (Proposition 2) and the convergence
+// condition (Proposition 3).
+//
+// For a user u and topic t the score of a candidate v sums, over every
+// path p from u to v, a total path score
+//
+//	ω_p(t) = β^|p| · Σ_{e∈p} α^d(e) · max_{t'∈labelE(e)} sim(t', t) · auth(end(e), t)
+//
+// where d(e) is the 1-based position of edge e on the path, β penalizes
+// long paths, α discounts edges far from u, sim is the Wu-Palmer topical
+// similarity and auth is the topical authority of the edge's end node.
+// Setting the per-edge topical factor to 1 recovers the Katz score
+// topo_β(u, v) = Σ_p β^|p| (Equation 2).
+//
+// The computation propagates per-path-length "delta" masses hop by hop
+// (exactly the iterative formula of Proposition 1): at hop k we hold, for
+// every reached node w, the mass contributed by length-k paths to (i) σ
+// per requested topic, (ii) the topological score with decay α·β (needed
+// as the path-prefix weight and by the landmark combination of
+// Proposition 4) and (iii) the topological score with decay β (the Katz
+// score). Iteration stops when the frontier mass falls under a tolerance
+// (Algorithm 1, line 15) or at a depth cap.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/authority"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Variant selects which components of the Tr score are active; the paper
+// evaluates the full score against its two ablations (Figure 4).
+type Variant int
+
+const (
+	// TrFull uses edge similarity and node authority (the paper's Tr).
+	TrFull Variant = iota
+	// TrNoAuth keeps edge similarity, drops node authority ("Tr−auth":
+	// Katz plus edge similarity).
+	TrNoAuth
+	// TrNoSim keeps node authority, drops edge similarity ("Tr−sim").
+	TrNoSim
+	// TopoOnly drops both: σ degenerates to the Katz topological score.
+	TopoOnly
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case TrFull:
+		return "Tr"
+	case TrNoAuth:
+		return "Tr-auth"
+	case TrNoSim:
+		return "Tr-sim"
+	case TopoOnly:
+		return "Katz"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Params are the scoring and iteration parameters.
+type Params struct {
+	// Beta is the per-hop path decay β of Definition 1. The paper sets
+	// 0.0005, the value used for Katz in the link-prediction literature.
+	Beta float64
+	// Alpha is the per-edge distance decay α of Equation 3 (paper: 0.85).
+	Alpha float64
+	// MaxDepth caps the exploration depth (Algorithm 1's maxk). The
+	// preprocessing step uses a large value and relies on Tol; query-time
+	// exploration uses a small one (2 in the paper's experiments).
+	MaxDepth int
+	// Tol is the convergence tolerance on the frontier's average score
+	// mass (Algorithm 1, line 15).
+	Tol float64
+	// Variant selects the score ablation.
+	Variant Variant
+}
+
+// DefaultParams returns the paper's parameter values.
+func DefaultParams() Params {
+	return Params{Beta: 0.0005, Alpha: 0.85, MaxDepth: 16, Tol: 1e-15, Variant: TrFull}
+}
+
+// Validate reports invalid parameter combinations.
+func (p Params) Validate() error {
+	if p.Beta <= 0 || p.Beta >= 1 {
+		return fmt.Errorf("core: Beta must be in (0,1), got %g", p.Beta)
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		return fmt.Errorf("core: Alpha must be in (0,1], got %g", p.Alpha)
+	}
+	if p.MaxDepth < 1 {
+		return fmt.Errorf("core: MaxDepth must be >= 1, got %d", p.MaxDepth)
+	}
+	if p.Tol < 0 {
+		return fmt.Errorf("core: Tol must be >= 0, got %g", p.Tol)
+	}
+	return nil
+}
+
+// Engine scores candidates over one frozen graph. An Engine is immutable
+// and safe for concurrent use; per-call scratch buffers are either passed
+// in explicitly or allocated on demand.
+type Engine struct {
+	g      *graph.Graph
+	auth   *authority.Table
+	sim    *topics.SimMatrix
+	params Params
+
+	// simRows caches, per distinct edge label occurring in the graph, the
+	// vector max_{t'∈label} sim(t', t) for every topic t. Edge labels
+	// repeat massively (they are small intersections of profiles), so
+	// this turns the per-edge-per-topic bit scan of Equation 3 into one
+	// map lookup per edge. nil when the variant ignores similarity.
+	simRows map[topics.Set][]float64
+	// ones is the all-ones row used by variants without a similarity or
+	// authority factor.
+	ones []float64
+}
+
+// NewEngine assembles an engine. auth may be nil for variants that do not
+// use authority; sim may be nil for variants that do not use similarity.
+func NewEngine(g *graph.Graph, auth *authority.Table, sim *topics.SimMatrix, params Params) (*Engine, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	needAuth := params.Variant == TrFull || params.Variant == TrNoSim
+	needSim := params.Variant == TrFull || params.Variant == TrNoAuth
+	if needAuth && auth == nil {
+		return nil, fmt.Errorf("core: variant %v requires an authority table", params.Variant)
+	}
+	if needSim && sim == nil {
+		return nil, fmt.Errorf("core: variant %v requires a similarity matrix", params.Variant)
+	}
+	if sim != nil && sim.Len() != g.Vocabulary().Len() {
+		return nil, fmt.Errorf("core: similarity matrix covers %d topics, graph vocabulary has %d", sim.Len(), g.Vocabulary().Len())
+	}
+	e := &Engine{g: g, auth: auth, sim: sim, params: params}
+	T := g.Vocabulary().Len()
+	e.ones = make([]float64, T)
+	for i := range e.ones {
+		e.ones[i] = 1
+	}
+	if needSim {
+		e.simRows = make(map[topics.Set][]float64)
+		for u := 0; u < g.NumNodes(); u++ {
+			_, lbls := g.Out(graph.NodeID(u))
+			for _, lbl := range lbls {
+				if _, ok := e.simRows[lbl]; ok {
+					continue
+				}
+				row := make([]float64, T)
+				for t := 0; t < T; t++ {
+					row[t] = sim.MaxSim(lbl, topics.ID(t))
+				}
+				e.simRows[lbl] = row
+			}
+		}
+	}
+	return e, nil
+}
+
+// simRow returns the per-topic similarity factors of an edge label (ones
+// when the variant ignores similarity).
+func (e *Engine) simRow(lbl topics.Set) []float64 {
+	if e.simRows == nil {
+		return e.ones
+	}
+	if row, ok := e.simRows[lbl]; ok {
+		return row
+	}
+	// Label unseen at construction (possible only for hand-made paths on
+	// other graphs): compute on the fly.
+	T := e.g.Vocabulary().Len()
+	row := make([]float64, T)
+	for t := 0; t < T; t++ {
+		row[t] = e.sim.MaxSim(lbl, topics.ID(t))
+	}
+	return row
+}
+
+// authRow returns the per-topic authority factors of a node (ones when
+// the variant ignores authority).
+func (e *Engine) authRow(v graph.NodeID) []float64 {
+	if e.params.Variant == TrNoAuth || e.params.Variant == TopoOnly {
+		return e.ones
+	}
+	return e.auth.Row(v)
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Params returns the engine's parameters.
+func (e *Engine) Params() Params { return e.params }
+
+// Authority returns the engine's authority table (may be nil).
+func (e *Engine) Authority() *authority.Table { return e.auth }
+
+// Similarity returns the engine's similarity matrix (may be nil).
+func (e *Engine) Similarity() *topics.SimMatrix { return e.sim }
+
+// EdgeUnit returns the topical factor of one edge for topic t —
+// maxsim(label, t) · auth(end, t) under the engine's variant — the
+// quantity β·α multiplies in the edge score ω_e(t). Exposed for engines
+// built on top of the exploration recurrence (e.g. the distributed
+// simulation).
+func (e *Engine) EdgeUnit(label topics.Set, end graph.NodeID, t topics.ID) float64 {
+	return e.simRow(label)[t] * e.authRow(end)[t]
+}
+
+// edgeTopicWeight returns the topical factor of one edge for topic t:
+// maxsim(label, t) · auth(end, t), with each factor replaced by 1 when the
+// variant disables it. The β·α decay is applied by the caller.
+func (e *Engine) edgeTopicWeight(label topics.Set, end graph.NodeID, t topics.ID) float64 {
+	switch e.params.Variant {
+	case TrFull:
+		s := e.sim.MaxSim(label, t)
+		if s == 0 {
+			return 0
+		}
+		return s * e.auth.Score(end, t)
+	case TrNoAuth:
+		return e.sim.MaxSim(label, t)
+	case TrNoSim:
+		return e.auth.Score(end, t)
+	default: // TopoOnly
+		return 1
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestExplainEnumeratesAllPaths(t *testing.T) {
+	f := figure1(t)
+	e := f.engine(t, defaultTestParams())
+	// A ❀ D: the only path within 3 hops is A→B→D.
+	paths, covered := e.Explain(f.A, f.D, f.tech, ExplainOptions{MaxLen: 3, TopK: 10})
+	if len(paths) != 1 {
+		t.Fatalf("expected 1 path, got %d", len(paths))
+	}
+	if covered < 0.999 {
+		t.Errorf("coverage = %g, want ~1", covered)
+	}
+	want, err := e.PathScore(Path{f.A, f.B, f.D}, f.tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(paths[0].Score, want, 1e-12) {
+		t.Errorf("path score = %g, want %g", paths[0].Score, want)
+	}
+	if len(paths[0].Path) != 3 || paths[0].Path[1] != f.B {
+		t.Errorf("path = %v", paths[0].Path)
+	}
+}
+
+func TestExplainCoverageAndOrdering(t *testing.T) {
+	ds := gen.RandomWith(25, 200, 31)
+	e := engineOnDataset(t, ds, 0.2)
+	// Pick a pair with several paths.
+	var u, v graph.NodeID
+	found := false
+	for a := graph.NodeID(0); a < 25 && !found; a++ {
+		for b := graph.NodeID(0); b < 25; b++ {
+			if a == b {
+				continue
+			}
+			if e.BruteForceTopo(a, b, 0.5, 3) > 0.3 { // multiple short paths
+				u, v = a, b
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no multi-path pair in this random graph")
+	}
+	paths, covered := e.Explain(u, v, 0, ExplainOptions{MaxLen: 4, TopK: 3})
+	if len(paths) == 0 {
+		t.Fatal("no paths found")
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i].Score > paths[i-1].Score {
+			t.Fatal("paths not sorted by contribution")
+		}
+	}
+	if covered <= 0 || covered > 1 {
+		t.Fatalf("coverage = %g out of range", covered)
+	}
+	// Every returned path must be valid and end at v.
+	for _, pc := range paths {
+		if !pc.Path.Valid(e.Graph()) {
+			t.Fatalf("invalid path %v", pc.Path)
+		}
+		if pc.Path[0] != u || pc.Path[len(pc.Path)-1] != v {
+			t.Fatalf("path endpoints wrong: %v", pc.Path)
+		}
+	}
+}
+
+func TestExplainBudget(t *testing.T) {
+	ds := gen.RandomWith(30, 400, 5)
+	e := engineOnDataset(t, ds, 0.1)
+	// A tiny budget must not crash and returns a (possibly partial)
+	// coverage below or equal to the unbounded run's.
+	paths, covered := e.Explain(0, 7, 0, ExplainOptions{MaxLen: 4, TopK: 5, Budget: 10})
+	_, fullCovered := e.Explain(0, 7, 0, ExplainOptions{MaxLen: 4, TopK: 5})
+	if covered > fullCovered+1e-12 {
+		t.Errorf("budgeted coverage %g exceeds full %g", covered, fullCovered)
+	}
+	_ = paths
+}
+
+func engineOnDataset(t *testing.T, ds *gen.Dataset, beta float64) *Engine {
+	t.Helper()
+	p := DefaultParams()
+	p.Beta = beta
+	e, err := NewEngine(ds.Graph, authorityFor(t, ds), ds.Sim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func authorityFor(t *testing.T, ds *gen.Dataset) *authority.Table {
+	t.Helper()
+	return authority.Compute(ds.Graph)
+}

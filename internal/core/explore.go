@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Exploration holds the exact scores computed from one source node: the
+// recommendation vector R_t per requested topic, the Katz topological
+// scores topo_β and the α·β-decayed topological scores topo_αβ used by the
+// landmark combination (Proposition 4).
+type Exploration struct {
+	Src     graph.NodeID
+	Topics  []topics.ID    // topics scored, in request order
+	Reached []graph.NodeID // nodes with any non-zero score, excluding Src
+	// Iterations is the number of hops actually propagated.
+	Iterations int
+	// Converged reports whether the tolerance was met before MaxDepth.
+	Converged bool
+
+	k      int // len(Topics)
+	sigma  map[graph.NodeID][]float64
+	topoB  map[graph.NodeID]float64
+	topoAB map[graph.NodeID]float64
+}
+
+// Sigma returns σ(Src, v, Topics[ti]).
+func (x *Exploration) Sigma(v graph.NodeID, ti int) float64 {
+	if row, ok := x.sigma[v]; ok {
+		return row[ti]
+	}
+	return 0
+}
+
+// SigmaRow returns the per-topic scores of v in Topics order (nil if v was
+// never reached). The slice aliases internal storage.
+func (x *Exploration) SigmaRow(v graph.NodeID) []float64 { return x.sigma[v] }
+
+// TopoB returns the Katz score topo_β(Src, v) (Equation 2).
+func (x *Exploration) TopoB(v graph.NodeID) float64 { return x.topoB[v] }
+
+// TopoAB returns topo_αβ(Src, v), the topological score with decay α·β.
+func (x *Exploration) TopoAB(v graph.NodeID) float64 { return x.topoAB[v] }
+
+// TopicIndex returns the position of t in Topics, or -1 when the
+// exploration did not cover it.
+func (x *Exploration) TopicIndex(t topics.ID) int {
+	for i, tt := range x.Topics {
+		if tt == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Explore runs the iterative score computation (Algorithm 1) from src for
+// the given topics, propagating until convergence or maxDepth hops,
+// whichever comes first. maxDepth <= 0 uses the engine's MaxDepth. A nil
+// topic list means every topic of the vocabulary.
+//
+// The propagation carries, per hop k, the exact mass contributed by paths
+// of length k (the "delta" decomposition of Proposition 1):
+//
+//	σΔ_k(v)      = Σ_{w→v} β·σΔ_{k-1}(w) + topoABΔ_{k-1}(w) · β·α·w_t(w→v)
+//	topoABΔ_k(v) = Σ_{w→v} α·β·topoABΔ_{k-1}(w)
+//	topoBΔ_k(v)  = Σ_{w→v} β·topoBΔ_{k-1}(w)
+//
+// with w_t the edge topical factor (similarity × authority). Accumulated
+// sums over k give σ, topo_αβ and topo_β.
+func (e *Engine) Explore(src graph.NodeID, ts []topics.ID, maxDepth int) *Exploration {
+	return e.ExploreOpts(src, ts, ExploreOptions{MaxDepth: maxDepth})
+}
+
+// ExploreOptions tunes one exploration.
+type ExploreOptions struct {
+	// MaxDepth caps the hop count; <= 0 uses the engine's MaxDepth.
+	MaxDepth int
+	// Stop, when non-nil, marks nodes whose out-edges must not be
+	// expanded. The landmark query algorithm (Algorithm 2) prunes the BFS
+	// at encountered landmarks so that paths through a landmark are not
+	// counted twice — once by the exploration and once by the landmark's
+	// precomputed scores. Stopped nodes still receive scores.
+	Stop func(graph.NodeID) bool
+	// Mode selects the frontier representation (AutoMode by default).
+	Mode Mode
+	// Scratch supplies reusable dense buffers (DenseMode/AutoMode only);
+	// nil allocates fresh ones.
+	Scratch *Scratch
+}
+
+// ExploreOpts is Explore with per-call options.
+func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptions) *Exploration {
+	maxDepth := opts.MaxDepth
+	if ts == nil {
+		all := make([]topics.ID, e.g.Vocabulary().Len())
+		for i := range all {
+			all[i] = topics.ID(i)
+		}
+		ts = all
+	}
+	if maxDepth <= 0 {
+		maxDepth = e.params.MaxDepth
+	}
+	// Deep explorations touch most of the graph: dense frontier arrays
+	// beat per-node map allocations there; shallow query-time lookups
+	// stay on maps.
+	useDense := opts.Mode == DenseMode || (opts.Mode == AutoMode && maxDepth > 3)
+	if useDense {
+		return e.exploreDense(src, ts, maxDepth, opts.Stop, opts.Scratch)
+	}
+	k := len(ts)
+	x := &Exploration{
+		Src:    src,
+		Topics: ts,
+		k:      k,
+		sigma:  make(map[graph.NodeID][]float64),
+		topoB:  make(map[graph.NodeID]float64),
+		topoAB: make(map[graph.NodeID]float64),
+	}
+
+	type delta struct {
+		sigma  []float64
+		topoB  float64
+		topoAB float64
+	}
+	cur := map[graph.NodeID]*delta{
+		src: {sigma: make([]float64, k), topoB: 1, topoAB: 1},
+	}
+
+	beta, alpha := e.params.Beta, e.params.Alpha
+	ab := alpha * beta
+
+	for depth := 1; depth <= maxDepth && len(cur) > 0; depth++ {
+		next := make(map[graph.NodeID]*delta, len(cur)*2)
+		// Expand frontier nodes in sorted order: per-target float sums
+		// must not depend on map iteration order.
+		curNodes := make([]graph.NodeID, 0, len(cur))
+		for w := range cur {
+			curNodes = append(curNodes, w)
+		}
+		sort.Slice(curNodes, func(i, j int) bool { return curNodes[i] < curNodes[j] })
+		for _, w := range curNodes {
+			dw := cur[w]
+			if opts.Stop != nil && w != src && opts.Stop(w) {
+				continue
+			}
+			dsts, lbls := e.g.Out(w)
+			for i, v := range dsts {
+				dv := next[v]
+				if dv == nil {
+					dv = &delta{sigma: make([]float64, k)}
+					next[v] = dv
+				}
+				sr := e.simRow(lbls[i])
+				ar := e.authRow(v)
+				for ti, t := range ts {
+					unit := sr[t] * ar[t]
+					dv.sigma[ti] += beta*dw.sigma[ti] + dw.topoAB*(ab*unit)
+				}
+				dv.topoAB += ab * dw.topoAB
+				dv.topoB += beta * dw.topoB
+			}
+		}
+		// Accumulate this hop's mass and check convergence: average new
+		// per-topic mass per reached node under Tol (Algorithm 1 l. 15),
+		// with the topological mass as an additional guard for the
+		// TopoOnly variant whose σ mass equals it anyway. Accumulation
+		// follows sorted node order so floating-point results (and hence
+		// near-tie rankings) are reproducible across runs — Go map
+		// iteration order is randomized.
+		frontier := make([]graph.NodeID, 0, len(next))
+		for v := range next {
+			frontier = append(frontier, v)
+		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		var maxTopicMass, topoMass float64
+		perTopic := make([]float64, k)
+		for _, v := range frontier {
+			dv := next[v]
+			row, ok := x.sigma[v]
+			if !ok {
+				row = make([]float64, k)
+				x.sigma[v] = row
+				if v != src {
+					x.Reached = append(x.Reached, v)
+				}
+			}
+			for ti := 0; ti < k; ti++ {
+				row[ti] += dv.sigma[ti]
+				perTopic[ti] += dv.sigma[ti]
+			}
+			x.topoB[v] += dv.topoB
+			x.topoAB[v] += dv.topoAB
+			topoMass += dv.topoB
+		}
+		x.Iterations = depth
+		denom := float64(len(x.sigma))
+		if denom == 0 {
+			denom = 1
+		}
+		for _, m := range perTopic {
+			if m/denom > maxTopicMass {
+				maxTopicMass = m / denom
+			}
+		}
+		if maxTopicMass < e.params.Tol && topoMass/denom < e.params.Tol {
+			x.Converged = true
+			break
+		}
+		cur = next
+	}
+	return x
+}

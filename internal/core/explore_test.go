@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol || d <= tol*m
+}
+
+// TestExploreMatchesBruteForce cross-checks the iterative computation
+// (Proposition 1) against literal path enumeration (Definition 1) on
+// random graphs, for σ, topo_β and topo_αβ, over all variants.
+func TestExploreMatchesBruteForce(t *testing.T) {
+	const maxLen = 4
+	for seed := uint64(0); seed < 8; seed++ {
+		ds := gen.RandomWith(12, 40, seed)
+		auth := authority.Compute(ds.Graph)
+		for _, variant := range []Variant{TrFull, TrNoAuth, TrNoSim, TopoOnly} {
+			p := DefaultParams()
+			p.Beta, p.Alpha = 0.3, 0.7 // large decays stress cycle handling
+			p.MaxDepth = maxLen
+			p.Tol = 0 // force exactly maxLen hops
+			p.Variant = variant
+			e, err := NewEngine(ds.Graph, auth, ds.Sim, p)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			src := graph.NodeID(seed % 12)
+			tt := topics.ID(seed % uint64(ds.Vocabulary().Len()))
+			x := e.Explore(src, []topics.ID{tt}, maxLen)
+			for v := 0; v < ds.Graph.NumNodes(); v++ {
+				vid := graph.NodeID(v)
+				if vid == src {
+					continue
+				}
+				wantSigma := e.BruteForceSigma(src, vid, tt, maxLen)
+				if got := x.Sigma(vid, 0); !almostEqual(got, wantSigma, 1e-12) {
+					t.Errorf("seed %d %v: sigma(%d,%d)=%g want %g", seed, variant, src, v, got, wantSigma)
+				}
+				wantTopoB := e.BruteForceTopo(src, vid, p.Beta, maxLen)
+				if got := x.TopoB(vid); !almostEqual(got, wantTopoB, 1e-12) {
+					t.Errorf("seed %d %v: topoB(%d,%d)=%g want %g", seed, variant, src, v, got, wantTopoB)
+				}
+				wantTopoAB := e.BruteForceTopo(src, vid, p.Beta*p.Alpha, maxLen)
+				if got := x.TopoAB(vid); !almostEqual(got, wantTopoAB, 1e-12) {
+					t.Errorf("seed %d %v: topoAB(%d,%d)=%g want %g", seed, variant, src, v, got, wantTopoAB)
+				}
+			}
+		}
+	}
+}
+
+// TestExploreAllTopicsConsistent verifies that a multi-topic exploration
+// yields the same per-topic scores as independent single-topic ones.
+func TestExploreAllTopicsConsistent(t *testing.T) {
+	ds := gen.RandomWith(20, 80, 7)
+	auth := authority.Compute(ds.Graph)
+	p := DefaultParams()
+	p.Beta = 0.05
+	e, err := NewEngine(ds.Graph, auth, ds.Sim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.NodeID(3)
+	all := e.Explore(src, nil, 0)
+	if len(all.Topics) != ds.Vocabulary().Len() {
+		t.Fatalf("nil topics should mean all: got %d", len(all.Topics))
+	}
+	for ti := 0; ti < ds.Vocabulary().Len(); ti += 5 {
+		single := e.Explore(src, []topics.ID{topics.ID(ti)}, 0)
+		for _, v := range all.Reached {
+			if got, want := single.Sigma(v, 0), all.Sigma(v, ti); !almostEqual(got, want, 1e-12) {
+				t.Errorf("topic %d node %d: single %g vs all %g", ti, v, got, want)
+			}
+		}
+	}
+}
+
+// TestExploreConvergence checks that with the paper's tiny β the
+// computation converges well before the depth cap and that deeper caps do
+// not change converged scores materially.
+func TestExploreConvergence(t *testing.T) {
+	ds := gen.RandomWith(30, 200, 11)
+	auth := authority.Compute(ds.Graph)
+	p := DefaultParams() // β = 0.0005
+	e, err := NewEngine(ds.Graph, auth, ds.Sim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.Explore(graph.NodeID(0), []topics.ID{0}, 0)
+	if !x.Converged {
+		t.Fatalf("expected convergence within %d hops (got %d iterations)", p.MaxDepth, x.Iterations)
+	}
+	if x.Iterations >= p.MaxDepth {
+		t.Errorf("convergence should beat the cap: %d iterations", x.Iterations)
+	}
+	// Doubling the cap must not change scores beyond the tolerance scale.
+	p2 := p
+	p2.MaxDepth = p.MaxDepth * 2
+	e2, _ := NewEngine(ds.Graph, auth, ds.Sim, p2)
+	y := e2.Explore(graph.NodeID(0), []topics.ID{0}, 0)
+	for _, v := range x.Reached {
+		if !almostEqual(x.Sigma(v, 0), y.Sigma(v, 0), 1e-9) {
+			t.Errorf("node %d: scores diverge after convergence: %g vs %g", v, x.Sigma(v, 0), y.Sigma(v, 0))
+		}
+	}
+}
+
+// TestExploreSourceWithoutEdges covers isolated sources.
+func TestExploreSourceWithoutEdges(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"a", "b"})
+	b := graph.NewBuilder(vocab, 3)
+	b.AddEdge(1, 2, topics.NewSet(0))
+	g := b.MustFreeze()
+	tax := topics.NewTaxonomyBuilder(vocab).Topic("a", "root").Topic("b", "root").MustBuild()
+	e, err := NewEngine(g, authority.Compute(g), tax.SimMatrix(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.Explore(0, []topics.ID{0}, 0)
+	if len(x.Reached) != 0 {
+		t.Errorf("isolated source reached %d nodes", len(x.Reached))
+	}
+	if x.Sigma(2, 0) != 0 || x.TopoB(2) != 0 {
+		t.Errorf("isolated source must score nothing")
+	}
+}
+
+// TestFigure1Ordering reproduces Example 2: recommending technology
+// accounts to A at range 2 must rank D (via the high-authority,
+// tech-labeled path through B) above E.
+func TestFigure1Ordering(t *testing.T) {
+	f := figure1(t)
+	e := f.engine(t, defaultTestParams())
+	x := e.Explore(f.A, []topics.ID{f.tech}, 2)
+	sd, se := x.Sigma(f.D, 0), x.Sigma(f.E, 0)
+	if sd <= se {
+		t.Fatalf("Example 2 violated: sigma(D)=%g should exceed sigma(E)=%g", sd, se)
+	}
+}
+
+// TestFigure1Authority reproduces Example 1: B has higher technology
+// authority than C (specialization), while C has at least B's authority
+// on science ("bigdata": more followers on it).
+func TestFigure1Authority(t *testing.T) {
+	f := figure1(t)
+	bTech, cTech := f.auth.Score(f.B, f.tech), f.auth.Score(f.C, f.tech)
+	if bTech <= cTech {
+		t.Errorf("auth(B,tech)=%g should exceed auth(C,tech)=%g", bTech, cTech)
+	}
+	bSci, cSci := f.auth.Score(f.B, f.science), f.auth.Score(f.C, f.science)
+	if cSci <= 0 || bSci <= 0 {
+		t.Fatalf("science authorities must be positive: B=%g C=%g", bSci, cSci)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// figure1 builds a small graph in the spirit of the paper's Figure 1: A
+// follows B (on bigdata+technology) and C (on bigdata); B is followed
+// mostly on technology, C on a broader mix; D and E are reachable at
+// distance 2.
+type fixture struct {
+	tax   *topics.Taxonomy
+	vocab *topics.Vocabulary
+	g     *graph.Graph
+	auth  *authority.Table
+	sim   *topics.SimMatrix
+
+	tech, science, social topics.ID
+	A, B, C, D, E, F, GG  graph.NodeID
+}
+
+func figure1(t *testing.T) *fixture {
+	t.Helper()
+	tax := topics.WebTaxonomy()
+	vocab := tax.Vocabulary()
+	tech := vocab.MustLookup("technology")
+	science := vocab.MustLookup("science") // stands in for "bigdata"
+	social := vocab.MustLookup("social")
+
+	// Nodes: A=0 B=1 C=2 D=3 E=4 F=5 G=6.
+	b := graph.NewBuilder(vocab, 7)
+	A, B, C, D, E, F, G := graph.NodeID(0), graph.NodeID(1), graph.NodeID(2), graph.NodeID(3), graph.NodeID(4), graph.NodeID(5), graph.NodeID(6)
+	b.SetNodeTopics(B, topics.NewSet(tech, science))
+	b.SetNodeTopics(C, topics.NewSet(tech, science, social))
+	b.SetNodeTopics(D, topics.NewSet(tech))
+	b.SetNodeTopics(E, topics.NewSet(science))
+
+	// A follows B on {science, tech}; A follows C on {science}.
+	b.AddEdge(A, B, topics.NewSet(science, tech))
+	b.AddEdge(A, C, topics.NewSet(science))
+	// B is followed by F and G on tech (B specialized in tech), and by F
+	// on science.
+	b.AddEdge(F, B, topics.NewSet(tech))
+	b.AddEdge(G, B, topics.NewSet(tech, science))
+	// C is followed on many topics: 2 tech among 6 total topic-follows.
+	b.AddEdge(F, C, topics.NewSet(tech, social))
+	b.AddEdge(G, C, topics.NewSet(tech, science, social))
+	// Second-hop targets.
+	b.AddEdge(B, D, topics.NewSet(tech))
+	b.AddEdge(C, E, topics.NewSet(science))
+
+	g := b.MustFreeze()
+	return &fixture{
+		tax: tax, vocab: vocab, g: g,
+		auth: authority.Compute(g), sim: tax.SimMatrix(),
+		tech: tech, science: science, social: social,
+		A: A, B: B, C: C, D: D, E: E, F: F, GG: G,
+	}
+}
+
+func (f *fixture) engine(t *testing.T, p Params) *Engine {
+	t.Helper()
+	e, err := NewEngine(f.g, f.auth, f.sim, p)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func defaultTestParams() Params {
+	p := DefaultParams()
+	p.Beta = 0.05 // larger than the paper's to make test numbers non-degenerate
+	return p
+}

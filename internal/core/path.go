@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Path is an explicit node sequence p = n0 → n1 → … → nk in the follow
+// graph. Paths of length >= 1 have at least two nodes.
+type Path []graph.NodeID
+
+// Len returns the number of edges |p|.
+func (p Path) Len() int { return len(p) - 1 }
+
+// Valid reports whether every consecutive pair is an edge of g.
+func (p Path) Valid(g *graph.Graph) bool {
+	if len(p) < 2 {
+		return false
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PathScore computes the total path score ω_p(t) of an explicit path:
+//
+//	ω_p(t) = β^|p| · Σ_{e∈p} α^d(e) · w_t(e)
+//
+// with d(e) the 1-based edge position and w_t the edge topical factor of
+// the engine's variant. It errors if the path is not present in the graph.
+// PathScore is the ground-truth oracle used to validate the iterative
+// computation and the composition property on small graphs.
+func (e *Engine) PathScore(p Path, t topics.ID) (float64, error) {
+	if len(p) < 2 {
+		return 0, fmt.Errorf("core: path must have at least one edge")
+	}
+	beta, alpha := e.params.Beta, e.params.Alpha
+	betaPow := 1.0
+	alphaPow := 1.0
+	sum := 0.0
+	for i := 0; i+1 < len(p); i++ {
+		lbl, ok := e.g.EdgeLabel(p[i], p[i+1])
+		if !ok {
+			return 0, fmt.Errorf("core: path edge (%d,%d) not in graph", p[i], p[i+1])
+		}
+		betaPow *= beta
+		alphaPow *= alpha
+		sum += alphaPow * e.edgeTopicWeight(lbl, p[i+1], t)
+	}
+	return betaPow * sum, nil
+}
+
+// ComposeScores applies the score composition property (Proposition 2):
+// for p = p1.p2,
+//
+//	ω_p(t) = β^|p2| · ω_{p1}(t) + (β·α)^|p1| · ω_{p2}(t)
+//
+// given the two sub-path scores and lengths.
+func (e *Engine) ComposeScores(w1 float64, len1 int, w2 float64, len2 int) float64 {
+	return pow(e.params.Beta, len2)*w1 + pow(e.params.Beta*e.params.Alpha, len1)*w2
+}
+
+// BruteForceSigma enumerates every path from u to v up to maxLen edges by
+// DFS and sums their ω_p(t) — Definition 1 evaluated literally. It is the
+// exponential-cost reference oracle for tests; do not use beyond tiny
+// graphs.
+func (e *Engine) BruteForceSigma(u, v graph.NodeID, t topics.ID, maxLen int) float64 {
+	beta, alpha := e.params.Beta, e.params.Alpha
+	total := 0.0
+	// DFS carrying the partial Σ α^d·w and the current length.
+	var walk func(cur graph.NodeID, depth int, partial float64, alphaPow, betaPow float64)
+	walk = func(cur graph.NodeID, depth int, partial, alphaPow, betaPow float64) {
+		if depth >= maxLen {
+			return
+		}
+		dsts, lbls := e.g.Out(cur)
+		for i, w := range dsts {
+			ap := alphaPow * alpha
+			bp := betaPow * beta
+			ps := partial + ap*e.edgeTopicWeight(lbls[i], w, t)
+			if w == v {
+				total += bp * ps
+			}
+			walk(w, depth+1, ps, ap, bp)
+		}
+	}
+	walk(u, 0, 0, 1, 1)
+	return total
+}
+
+// BruteForceTopo enumerates every path from u to v up to maxLen edges and
+// sums decay^|p| — Equation 2 evaluated literally, with an arbitrary decay
+// so it covers both topo_β and topo_αβ. Test oracle only.
+func (e *Engine) BruteForceTopo(u, v graph.NodeID, decay float64, maxLen int) float64 {
+	total := 0.0
+	var walk func(cur graph.NodeID, depth int, pow float64)
+	walk = func(cur graph.NodeID, depth int, p float64) {
+		if depth >= maxLen {
+			return
+		}
+		dsts, _ := e.g.Out(cur)
+		for _, w := range dsts {
+			np := p * decay
+			if w == v {
+				total += np
+			}
+			walk(w, depth+1, np)
+		}
+	}
+	walk(u, 0, 1)
+	return total
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n-- {
+		r *= x
+	}
+	return r
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// randomPath draws a random walk of the requested length from the graph,
+// or nil if the walk dead-ends.
+func randomPath(g *graph.Graph, r *rand.Rand, length int) Path {
+	p := Path{graph.NodeID(r.IntN(g.NumNodes()))}
+	for len(p) <= length {
+		dst, _ := g.Out(p[len(p)-1])
+		if len(dst) == 0 {
+			return nil
+		}
+		p = append(p, dst[r.IntN(len(dst))])
+	}
+	return p
+}
+
+// TestCompositionProperty is the Proposition 2 property check: for any
+// path split p = p1.p2, ω_p = β^|p2|·ω_p1 + (βα)^|p1|·ω_p2. Checked with
+// testing/quick over random graphs, paths, splits, decays and variants.
+func TestCompositionProperty(t *testing.T) {
+	prop := func(seed uint64, pathLen8, split8 uint8, betaRaw, alphaRaw float64) bool {
+		pathLen := 2 + int(pathLen8%5) // 2..6 edges
+		r := rand.New(rand.NewPCG(seed, 42))
+		ds := gen.RandomWith(10, 45, seed)
+		p := DefaultParams()
+		p.Beta = 0.05 + mod1(betaRaw)*0.9    // (0.05, 0.95)
+		p.Alpha = 0.05 + mod1(alphaRaw)*0.95 // (0.05, 1.0)
+		p.Variant = Variant((seed + 1) % 4)  // rotate variants
+		e, err := NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := randomPath(ds.Graph, r, pathLen)
+		if path == nil {
+			return true // dead-ended walk: vacuous case
+		}
+		cut := 1 + int(split8)%(path.Len()-1+1)
+		if cut >= path.Len() {
+			cut = path.Len() - 1
+		}
+		if cut < 1 {
+			cut = 1
+		}
+		topic := topics.ID(seed % uint64(ds.Vocabulary().Len()))
+		whole, err := e.PathScore(path, topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1 := path[:cut+1]
+		p2 := path[cut:]
+		w1, err := e.PathScore(p1, topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2, err := e.PathScore(p2, topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed := e.ComposeScores(w1, p1.Len(), w2, p2.Len())
+		return almostEqual(whole, composed, 1e-12)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod1(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(math.Mod(x, 1))
+	return x
+}
+
+// TestPathScoreSingleEdge pins the closed form for one edge:
+// ω_e(t) = β·α·maxsim·auth(end).
+func TestPathScoreSingleEdge(t *testing.T) {
+	f := figure1(t)
+	p := defaultTestParams()
+	e := f.engine(t, p)
+	got, err := e.PathScore(Path{f.A, f.B}, f.tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, _ := f.g.EdgeLabel(f.A, f.B)
+	want := p.Beta * p.Alpha * f.sim.MaxSim(lbl, f.tech) * f.auth.Score(f.B, f.tech)
+	if !almostEqual(got, want, 1e-15) {
+		t.Fatalf("single-edge ω = %g, want %g", got, want)
+	}
+}
+
+// TestPathScoreErrors covers invalid paths.
+func TestPathScoreErrors(t *testing.T) {
+	f := figure1(t)
+	e := f.engine(t, defaultTestParams())
+	if _, err := e.PathScore(Path{f.A}, f.tech); err == nil {
+		t.Error("zero-edge path should error")
+	}
+	if _, err := e.PathScore(Path{f.A, f.E}, f.tech); err == nil {
+		t.Error("non-edge should error")
+	}
+	if (Path{f.A, f.B, f.D}).Valid(f.g) != true {
+		t.Error("A→B→D should be valid")
+	}
+	if (Path{f.A, f.D}).Valid(f.g) {
+		t.Error("A→D should be invalid")
+	}
+}
+
+// TestBruteForceSigmaAgreesWithPathSum sanity-checks the two oracles
+// against each other on the fixture (paths up to length 3).
+func TestBruteForceSigmaAgreesWithPathSum(t *testing.T) {
+	f := figure1(t)
+	e := f.engine(t, defaultTestParams())
+	// Enumerate A→…→D paths by hand: only A→B→D at ≤3 hops.
+	w, err := e.PathScore(Path{f.A, f.B, f.D}, f.tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.BruteForceSigma(f.A, f.D, f.tech, 3); !almostEqual(got, w, 1e-15) {
+		t.Fatalf("BruteForceSigma=%g, path sum=%g", got, w)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// Recommender adapts an Engine to the shared ranking.Recommender
+// interface, computing exact Tr scores by graph exploration from the query
+// node.
+type Recommender struct {
+	eng *Engine
+	// depth caps each exploration; <= 0 runs to the engine's MaxDepth
+	// (i.e. effectively to convergence).
+	depth int
+	// excludeFollowed removes accounts u already follows from Recommend
+	// results (they need no recommendation); candidate scoring is not
+	// affected.
+	excludeFollowed bool
+}
+
+// RecommenderOption customizes a Recommender.
+type RecommenderOption func(*Recommender)
+
+// WithDepth caps exploration depth (e.g. 2 for a fast local
+// recommendation).
+func WithDepth(d int) RecommenderOption {
+	return func(r *Recommender) { r.depth = d }
+}
+
+// WithExcludeFollowed drops already-followed accounts from Recommend
+// output.
+func WithExcludeFollowed() RecommenderOption {
+	return func(r *Recommender) { r.excludeFollowed = true }
+}
+
+// NewRecommender wraps an engine.
+func NewRecommender(eng *Engine, opts ...RecommenderOption) *Recommender {
+	r := &Recommender{eng: eng}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Name returns the variant's name ("Tr", "Tr-auth", "Tr-sim", "Katz").
+func (r *Recommender) Name() string { return r.eng.params.Variant.String() }
+
+// scoreOf reads the ranking score of v from an exploration. For the
+// TopoOnly variant the paper's score degenerates to the Katz topological
+// score (setting ω̄_p(t) = 1 in Definition 1 yields Equation 2), so topo_β
+// is used directly.
+func (r *Recommender) scoreOf(x *Exploration, v graph.NodeID, ti int) float64 {
+	if r.eng.params.Variant == TopoOnly {
+		return x.TopoB(v)
+	}
+	return x.Sigma(v, ti)
+}
+
+// Engine returns the underlying engine.
+func (r *Recommender) Engine() *Engine { return r.eng }
+
+// ScoreCandidates runs one exploration from u and reads σ(u, c, t) for
+// each candidate. Candidates not reached score 0.
+func (r *Recommender) ScoreCandidates(u graph.NodeID, t topics.ID, cands []graph.NodeID) []float64 {
+	x := r.eng.Explore(u, []topics.ID{t}, r.depth)
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		out[i] = r.scoreOf(x, c, 0)
+	}
+	return out
+}
+
+// Recommend returns the top-n accounts for u on topic t, best first.
+func (r *Recommender) Recommend(u graph.NodeID, t topics.ID, n int) []ranking.Scored {
+	x := r.eng.Explore(u, []topics.ID{t}, r.depth)
+	top := ranking.NewTopN(n)
+	for _, v := range x.Reached {
+		if v == u {
+			continue
+		}
+		if r.excludeFollowed && r.eng.g.HasEdge(u, v) {
+			continue
+		}
+		if s := r.scoreOf(x, v, 0); s > 0 {
+			top.Insert(v, s)
+		}
+	}
+	return top.List()
+}
+
+// QueryTopic is one weighted topic of a multi-topic query Q = {t1…tn}. The
+// paper weights each topic by its relevance for the user's own posts.
+type QueryTopic struct {
+	Topic  topics.ID
+	Weight float64
+}
+
+// RecommendQuery answers a multi-topic query with the weighted linear
+// combination of per-topic scores (Definition 1's final score, using the
+// metasearch combination the paper references).
+func (r *Recommender) RecommendQuery(u graph.NodeID, query []QueryTopic, n int) []ranking.Scored {
+	ts := make([]topics.ID, len(query))
+	for i, q := range query {
+		ts[i] = q.Topic
+	}
+	x := r.eng.Explore(u, ts, r.depth)
+	top := ranking.NewTopN(n)
+	for _, v := range x.Reached {
+		if v == u {
+			continue
+		}
+		if r.excludeFollowed && r.eng.g.HasEdge(u, v) {
+			continue
+		}
+		s := 0.0
+		for i, q := range query {
+			s += q.Weight * r.scoreOf(x, v, i)
+		}
+		if s > 0 {
+			top.Insert(v, s)
+		}
+	}
+	return top.List()
+}
+
+var _ ranking.Recommender = (*Recommender)(nil)

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func tinyVocabGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	vocab := topics.MustVocabulary([]string{"x"})
+	b := graph.NewBuilder(vocab, n)
+	for _, e := range edges {
+		b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]), topics.NewSet(0))
+	}
+	return b.MustFreeze()
+}
+
+// TestSpectralRadiusCycle: a directed n-cycle has spectral radius 1.
+func TestSpectralRadiusCycle(t *testing.T) {
+	const n = 8
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	g := tinyVocabGraph(t, n, edges)
+	if r := SpectralRadius(g, 200); !almostEqual(r, 1, 1e-6) {
+		t.Fatalf("cycle radius = %g, want 1", r)
+	}
+}
+
+// TestSpectralRadiusComplete: the complete digraph on n nodes has
+// spectral radius n-1.
+func TestSpectralRadiusComplete(t *testing.T) {
+	const n = 6
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g := tinyVocabGraph(t, n, edges)
+	if r := SpectralRadius(g, 100); !almostEqual(r, n-1, 1e-6) {
+		t.Fatalf("complete-graph radius = %g, want %d", r, n-1)
+	}
+}
+
+// TestSpectralRadiusDAG: a DAG is nilpotent, radius 0.
+func TestSpectralRadiusDAG(t *testing.T) {
+	g := tinyVocabGraph(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	if r := SpectralRadius(g, 50); r != 0 {
+		t.Fatalf("DAG radius = %g, want 0", r)
+	}
+	if MaxBeta(g) != 1 {
+		t.Fatalf("MaxBeta on DAG should be the trivial bound 1")
+	}
+}
+
+// TestMaxBetaGuaranteesConvergence: with β chosen just under the
+// Proposition 3 bound, exploration mass must decay (converge); with β
+// well above it on a cyclic graph, mass must not vanish.
+func TestMaxBetaGuaranteesConvergence(t *testing.T) {
+	ds := gen.RandomWith(40, 400, 5)
+	bound := MaxBeta(ds.Graph)
+	if bound <= 0 || bound >= 1 {
+		t.Fatalf("bound out of range: %g", bound)
+	}
+	p := DefaultParams()
+	p.Beta = bound * 0.5
+	p.Alpha = 1.0
+	p.MaxDepth = 60
+	p.Tol = 1e-9
+	e, err := NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := e.Explore(0, []topics.ID{0}, 0)
+	if !x.Converged {
+		t.Fatalf("β=%.4g (half the bound %.4g) should converge", p.Beta, bound)
+	}
+}

@@ -1,0 +1,120 @@
+package dblppipe
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func build(t *testing.T, mutate func(*Config)) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Conferences = 40
+	cfg.Authors = 800
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildShape(t *testing.T) {
+	res := build(t, nil)
+	g := res.Dataset.Graph
+	if g.NumNodes() != res.KeptAuthors {
+		t.Fatalf("graph nodes %d vs kept authors %d", g.NumNodes(), res.KeptAuthors)
+	}
+	if res.KeptAuthors >= 800 {
+		t.Error("the cited-only filter should drop some authors")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no citation edges")
+	}
+	st := graph.ComputeStats(g)
+	if st.LabeledEdge != st.Edges {
+		t.Errorf("%d of %d edges labeled", st.LabeledEdge, st.Edges)
+	}
+	// Every kept author is cited: in-degree >= 1.
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.InDegree(graph.NodeID(u)) == 0 {
+			t.Fatalf("projected author %d has no citations", u)
+		}
+	}
+	if len(res.Papers) == 0 {
+		t.Fatal("no papers")
+	}
+	// References point strictly backwards (papers cite older papers).
+	for pid, p := range res.Papers {
+		for _, ref := range p.Refs {
+			if ref >= pid {
+				t.Fatalf("paper %d cites non-older paper %d", pid, ref)
+			}
+		}
+	}
+}
+
+func TestConferenceLabelPropagation(t *testing.T) {
+	res := build(t, nil)
+	if res.LabelAccuracy < 0.6 {
+		t.Errorf("propagation accuracy %.2f too low — author overlap should recover areas", res.LabelAccuracy)
+	}
+	for c, lbl := range res.ConfLabel {
+		if lbl == topics.None {
+			t.Fatalf("conference %d left unlabeled", c)
+		}
+	}
+}
+
+func TestAuthorProfilesComeFromPapers(t *testing.T) {
+	res := build(t, nil)
+	g := res.Dataset.Graph
+	// Rebuild the expected profile of each kept author from its papers'
+	// assigned conference labels.
+	for nid, a := range res.AuthorOf {
+		var want topics.Set
+		for _, p := range res.Papers {
+			for _, au := range p.Authors {
+				if au == a {
+					want = want.Add(res.ConfLabel[p.Conf])
+				}
+			}
+		}
+		if got := g.NodeTopics(graph.NodeID(nid)); got != want {
+			t.Fatalf("author %d profile %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := build(t, nil)
+	b := build(t, nil)
+	if a.Dataset.Graph.NumEdges() != b.Dataset.Graph.NumEdges() {
+		t.Fatal("same seed must reproduce the projection")
+	}
+	ea, eb := a.Dataset.Graph.Edges(), b.Dataset.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed must reproduce edges")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(Config{Conferences: 1, Authors: 5}); err == nil {
+		t.Error("tiny config must error")
+	}
+}
+
+func TestSeedFractionAffectsPropagationLoad(t *testing.T) {
+	few := build(t, func(c *Config) { c.SeedLabeledFrac = 0.1; c.Seed = 9 })
+	many := build(t, func(c *Config) { c.SeedLabeledFrac = 0.9; c.Seed = 9 })
+	// With 90% seeds almost nothing is propagated; accuracy is defined
+	// over propagated conferences only and both must stay sane.
+	if few.LabelAccuracy < 0 || few.LabelAccuracy > 1 || many.LabelAccuracy < 0 || many.LabelAccuracy > 1 {
+		t.Fatal("accuracy out of range")
+	}
+}

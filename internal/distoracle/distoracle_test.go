@@ -1,0 +1,131 @@
+package distoracle
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+)
+
+func chain(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(topics.MustVocabulary([]string{"x"}), n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1), topics.NewSet(0))
+	}
+	return b.MustFreeze()
+}
+
+func TestEstimateOnChain(t *testing.T) {
+	g := chain(t, 10)
+	// Landmark in the middle: estimates through node 5 are exact for
+	// pairs (u <= 5 <= v) and unavailable when v < u (no path anyway).
+	o, err := Build(g, []graph.NodeID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, ok := o.Estimate(2, 8)
+	if !ok || est != 6 {
+		t.Fatalf("estimate(2,8) = (%d,%v), want (6,true)", est, ok)
+	}
+	// Pair on the same side before the landmark: d(u,l)+d(l,v) overshoots
+	// or is unavailable; here 0→2: d(0,5)=5 but d(5,2) undefined → not
+	// answerable.
+	if _, ok := o.Estimate(0, 2); ok {
+		t.Error("pair not passing the landmark should be unanswerable")
+	}
+	if _, ok := o.Estimate(8, 2); ok {
+		t.Error("unreachable pair must be unanswerable")
+	}
+}
+
+func TestUpperBoundProperty(t *testing.T) {
+	ds := gen.RandomWith(60, 500, 4)
+	lms, err := landmark.Select(ds.Graph, landmark.Random, 6, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(ds.Graph, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(9, 9))
+	checked := 0
+	for i := 0; i < 300; i++ {
+		u := graph.NodeID(r.IntN(60))
+		v := graph.NodeID(r.IntN(60))
+		if u == v {
+			continue
+		}
+		exact, ok := Exact(ds.Graph, u, v)
+		if !ok {
+			continue
+		}
+		est, ok := o.Estimate(u, v)
+		if !ok {
+			continue
+		}
+		checked++
+		if est < exact {
+			t.Fatalf("triangle bound violated: estimate %d < exact %d for (%d,%d)", est, exact, u, v)
+		}
+	}
+	if checked < 50 {
+		t.Skipf("only %d comparable pairs", checked)
+	}
+}
+
+func TestEvaluateAndSelectionQuality(t *testing.T) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 800
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(3, 3))
+	pairs := make([][2]graph.NodeID, 120)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(r.IntN(800)), graph.NodeID(r.IntN(800))}
+	}
+	// High-degree landmarks should cover more pairs than pure random ones
+	// (the Potamias et al. observation the paper cites).
+	scfg := landmark.DefaultSelectConfig()
+	lmRand, _ := landmark.Select(ds.Graph, landmark.Random, 8, scfg)
+	lmDeg, _ := landmark.Select(ds.Graph, landmark.InDeg, 8, scfg)
+	oRand, err := Build(ds.Graph, lmRand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oDeg, err := Build(ds.Graph, lmDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRand, covRand := oRand.Evaluate(ds.Graph, pairs)
+	errDeg, covDeg := oDeg.Evaluate(ds.Graph, pairs)
+	if covDeg < covRand-0.05 {
+		t.Errorf("In-Deg coverage %.2f should not trail Random %.2f", covDeg, covRand)
+	}
+	if errRand < 0 || errDeg < 0 {
+		t.Error("mean relative error of an upper bound cannot be negative")
+	}
+	if covDeg == 0 {
+		t.Fatal("oracle answered nothing")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := chain(t, 3)
+	if _, err := Build(g, nil); err == nil {
+		t.Error("no landmarks must error")
+	}
+	o, err := Build(g, []graph.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Landmarks()) != 1 {
+		t.Error("Landmarks accessor wrong")
+	}
+}

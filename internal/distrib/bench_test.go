@@ -1,0 +1,47 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+)
+
+// BenchmarkClusterQuery measures the BSP query and reports the network
+// bill per partitioning scheme.
+func BenchmarkClusterQuery(b *testing.B) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 2000
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms, _ := landmark.Select(ds.Graph, landmark.InDeg, 20, landmark.DefaultSelectConfig())
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 500})
+
+	for name, assign := range map[string]Assignment{
+		"hash":         HashPartition(ds.Graph, 8),
+		"connectivity": ConnectivityPartition(ds.Graph, 8, 1),
+	} {
+		b.Run(name, func(b *testing.B) {
+			cl, err := NewCluster(eng, assign, store, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes, queries := 0, 0
+			for i := 0; i < b.N; i++ {
+				_, st := cl.Query(graph.NodeID(i%2000), 0, 10)
+				bytes += st.Bytes
+				queries++
+			}
+			b.ReportMetric(float64(bytes)/float64(queries), "net-bytes/query")
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// NetStats accounts the simulated network traffic of one query.
+type NetStats struct {
+	// Records is the number of per-node score contributions that crossed
+	// a partition boundary during exploration.
+	Records int
+	// Messages is the number of worker-to-worker batches (one per pair of
+	// distinct workers per superstep with at least one record).
+	Messages int
+	// Bytes is the exploration transfer volume (28 bytes per record: node
+	// id + three float64 deltas).
+	Bytes int
+	// GatherBytes is the result-collection volume: every partial score
+	// shipped to the coordinator (12 bytes per entry).
+	GatherBytes int
+}
+
+// recordBytes is the wire size of one exploration record.
+const recordBytes = 4 + 3*8
+
+// gatherEntryBytes is the wire size of one (node, score) result entry.
+const gatherEntryBytes = 4 + 8
+
+// Cluster simulates a partitioned deployment: one worker per partition,
+// each owning the out-edges of its nodes and the landmark lists of the
+// landmarks assigned to it. The scoring parameters and labels come from
+// the shared engine (in a real deployment each worker would hold its
+// partition's slice of that data).
+type Cluster struct {
+	eng    *core.Engine
+	assign Assignment
+	store  *landmark.Store
+	depth  int
+}
+
+// NewCluster validates and assembles a cluster.
+func NewCluster(eng *core.Engine, assign Assignment, store *landmark.Store, depth int) (*Cluster, error) {
+	if err := assign.Validate(eng.Graph()); err != nil {
+		return nil, err
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("distrib: query depth must be >= 1, got %d", depth)
+	}
+	if store.VocabLen() != eng.Graph().Vocabulary().Len() {
+		return nil, fmt.Errorf("distrib: store vocabulary mismatch")
+	}
+	return &Cluster{eng: eng, assign: assign, store: store, depth: depth}, nil
+}
+
+// delta is the per-hop score mass of one node (single topic).
+type delta struct {
+	sigma, topoB, topoAB float64
+}
+
+// acc is a node's accumulated scores across hops.
+type acc = delta
+
+// Query runs the landmark-approximate recommendation as BSP supersteps
+// over the workers and returns the top-n scores plus the network bill.
+// Scores equal the single-machine landmark.Approx computation.
+func (c *Cluster) Query(u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, NetStats) {
+	P := c.assign.Parts
+	g := c.eng.Graph()
+	var stats NetStats
+
+	// Per-worker state: current frontier and accumulated scores of owned
+	// nodes.
+	frontier := make([]map[graph.NodeID]delta, P)
+	accs := make([]map[graph.NodeID]acc, P)
+	for p := 0; p < P; p++ {
+		frontier[p] = map[graph.NodeID]delta{}
+		accs[p] = map[graph.NodeID]acc{}
+	}
+	frontier[c.assign.Of[u]][u] = delta{topoB: 1, topoAB: 1}
+
+	beta := c.eng.Params().Beta
+	ab := beta * c.eng.Params().Alpha
+
+	for step := 0; step < c.depth; step++ {
+		// Compute phase: every worker expands its owned frontier nodes
+		// into per-destination-worker outboxes, in parallel.
+		outboxes := make([][]map[graph.NodeID]delta, P) // [src][dst]
+		var wg sync.WaitGroup
+		for p := 0; p < P; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				out := make([]map[graph.NodeID]delta, P)
+				for q := range out {
+					out[q] = map[graph.NodeID]delta{}
+				}
+				// Deterministic expansion order keeps float sums (and so
+				// rankings) reproducible.
+				nodes := make([]graph.NodeID, 0, len(frontier[p]))
+				for w := range frontier[p] {
+					nodes = append(nodes, w)
+				}
+				sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+				for _, w := range nodes {
+					dw := frontier[p][w]
+					if w != u && c.store.Contains(w) {
+						continue // prune at landmarks (Algorithm 2)
+					}
+					dsts, lbls := g.Out(w)
+					for i, v := range dsts {
+						unit := c.eng.EdgeUnit(lbls[i], v, t)
+						q := c.assign.Of[v]
+						d := out[q][v]
+						d.sigma += beta*dw.sigma + dw.topoAB*(ab*unit)
+						d.topoAB += ab * dw.topoAB
+						d.topoB += beta * dw.topoB
+						out[q][v] = d
+					}
+				}
+				outboxes[p] = out
+			}(p)
+		}
+		wg.Wait()
+
+		// Exchange phase: deliver outboxes, counting cross-partition
+		// traffic, and fold the deliveries into next frontiers and
+		// accumulators.
+		next := make([]map[graph.NodeID]delta, P)
+		for q := 0; q < P; q++ {
+			next[q] = map[graph.NodeID]delta{}
+		}
+		for p := 0; p < P; p++ {
+			for q := 0; q < P; q++ {
+				box := outboxes[p][q]
+				if len(box) == 0 {
+					continue
+				}
+				if p != q {
+					stats.Messages++
+					stats.Records += len(box)
+					stats.Bytes += len(box) * recordBytes
+				}
+				for v, d := range box {
+					nd := next[q][v]
+					nd.sigma += d.sigma
+					nd.topoB += d.topoB
+					nd.topoAB += d.topoAB
+					next[q][v] = nd
+
+					av := accs[q][v]
+					av.sigma += d.sigma
+					av.topoB += d.topoB
+					av.topoAB += d.topoAB
+					accs[q][v] = av
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Landmark combination: each worker combines the lists of the
+	// landmarks it owns (zero transfer — lists are local to their owner),
+	// producing partial candidate scores; exploration scores are partial
+	// results too. Everything is then gathered by the coordinator.
+	final := map[graph.NodeID]float64{}
+	for p := 0; p < P; p++ {
+		partial := map[graph.NodeID]float64{}
+		owned := make([]graph.NodeID, 0, len(accs[p]))
+		for v := range accs[p] {
+			owned = append(owned, v)
+		}
+		sort.Slice(owned, func(i, j int) bool { return owned[i] < owned[j] })
+		for _, v := range owned {
+			av := accs[p][v]
+			if av.sigma > 0 {
+				partial[v] += av.sigma
+			}
+			d := c.store.Get(v)
+			if d == nil {
+				continue
+			}
+			lst := &d.Topical[t]
+			for i, w := range lst.Nodes {
+				if w == u {
+					continue
+				}
+				partial[w] += av.sigma*lst.Topo[i] + av.topoAB*lst.Sigma[i]
+			}
+		}
+		stats.GatherBytes += len(partial) * gatherEntryBytes
+		for w, s := range partial {
+			final[w] += s
+		}
+	}
+
+	top := ranking.NewTopN(n)
+	for v, s := range final {
+		if v != u && s > 0 {
+			top.Insert(v, s)
+		}
+	}
+	return top.List(), stats
+}

@@ -1,0 +1,74 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+)
+
+// BenchmarkApplyEager measures the cost of one single-edge update under
+// the eager refresh policy — the number to compare against re-running the
+// whole preprocessing (BenchmarkFullRepreprocess).
+func BenchmarkApplyEager(b *testing.B) {
+	benchApply(b, Eager)
+}
+
+// BenchmarkApplyLazy defers refreshes to query time: the Apply itself is
+// the graph rebuild only.
+func BenchmarkApplyLazy(b *testing.B) {
+	benchApply(b, Lazy)
+}
+
+func benchApply(b *testing.B, s Strategy) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 1500
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms, _ := landmark.Select(ds.Graph, landmark.InDeg, 8, landmark.DefaultSelectConfig())
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params: core.DefaultParams(), Sim: ds.Sim, StoreTopN: 200, QueryDepth: 2, Strategy: s,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		up := Update{Edge: graph.Edge{
+			Src:   graph.NodeID(i % 1500),
+			Dst:   graph.NodeID((i*7 + 13) % 1500),
+			Label: topics.NewSet(topics.ID(i % 18)),
+		}, Add: i%2 == 0}
+		if up.Edge.Src == up.Edge.Dst {
+			continue
+		}
+		if err := m.Apply([]Update{up}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRepreprocess is the naive alternative to incremental
+// maintenance: rebuild everything after each change.
+func BenchmarkFullRepreprocess(b *testing.B) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 1500
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms, _ := landmark.Select(ds.Graph, landmark.InDeg, 8, landmark.DefaultSelectConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewManager(ds.Graph, lms, Config{
+			Params: core.DefaultParams(), Sim: ds.Sim, StoreTopN: 200, QueryDepth: 2, Strategy: Eager,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package dynamic implements the paper's first future-work direction
+// (Section 6): keeping recommendations correct while the follow graph
+// changes. "Many following links have a short lifespan. This graph
+// dynamicity may impact the scores stored by the landmarks."
+//
+// A Manager owns the current frozen graph, its authority table and the
+// landmark store. Follow/unfollow updates are applied in batches: the
+// graph is rebuilt (frozen graphs stay immutable and traversal-friendly),
+// the authority table is recomputed, and the landmarks whose stored
+// recommendations may have changed are identified. Three refresh
+// strategies trade staleness for preprocessing work:
+//
+//   - Eager: every affected landmark is re-explored immediately;
+//   - Lazy: affected landmarks are only marked stale; a stale landmark is
+//     refreshed the first time a query meets it;
+//   - Threshold: stale landmarks accumulate and are refreshed together
+//     once their number crosses a bound (amortizing rebuild cost).
+//
+// A landmark is "affected" by an edge change when the changed edge's
+// source is reachable from the landmark within its exploration horizon —
+// then some stored path score includes the edge. Reachability is tested
+// with a reverse BFS from the edge source over the *new* graph, bounded by
+// the landmark iteration depth recorded at preprocessing.
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// Strategy selects when stale landmarks are refreshed.
+type Strategy int
+
+const (
+	// Eager refreshes every affected landmark at Apply time.
+	Eager Strategy = iota
+	// Lazy refreshes a stale landmark when a query first meets it.
+	Lazy
+	// Threshold refreshes all stale landmarks once their count passes
+	// StaleBound.
+	Threshold
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "Eager"
+	case Lazy:
+		return "Lazy"
+	case Threshold:
+		return "Threshold"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Params are the scoring parameters used for engines and refreshes.
+	Params core.Params
+	// Sim is the topic similarity matrix.
+	Sim *topics.SimMatrix
+	// StoreTopN is the per-topic list length kept per landmark.
+	StoreTopN int
+	// QueryDepth is the approximate query exploration depth.
+	QueryDepth int
+	// Strategy picks the refresh policy.
+	Strategy Strategy
+	// StaleBound triggers the Threshold strategy.
+	StaleBound int
+}
+
+// Stats counts the maintenance work done.
+type Stats struct {
+	// Batches is the number of Apply calls.
+	Batches int
+	// EdgesAdded and EdgesRemoved count applied changes.
+	EdgesAdded, EdgesRemoved int
+	// Refreshes counts landmark re-explorations.
+	Refreshes int
+	// StaleNow is the current number of stale landmarks.
+	StaleNow int
+}
+
+// Manager maintains a queryable recommendation state under updates.
+// Methods are safe for one writer OR many readers; Apply must not run
+// concurrently with queries.
+type Manager struct {
+	mu      sync.Mutex
+	cfg     Config
+	builder *graph.Builder
+	g       *graph.Graph
+	auth    *authority.Table
+	eng     *core.Engine
+	store   *landmark.Store
+	lms     []graph.NodeID
+	stale   map[graph.NodeID]bool
+	stats   Stats
+}
+
+// NewManager preprocesses the initial graph and landmark set.
+func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error) {
+	if cfg.StoreTopN <= 0 {
+		cfg.StoreTopN = 100
+	}
+	if cfg.QueryDepth <= 0 {
+		cfg.QueryDepth = 2
+	}
+	if cfg.StaleBound <= 0 {
+		cfg.StaleBound = len(lms)/4 + 1
+	}
+	m := &Manager{
+		cfg:   cfg,
+		g:     g,
+		lms:   append([]graph.NodeID(nil), lms...),
+		stale: make(map[graph.NodeID]bool),
+	}
+	m.builder = builderFrom(g)
+	if err := m.rebuildEngine(); err != nil {
+		return nil, err
+	}
+	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN})
+	m.store = store
+	return m, nil
+}
+
+// builderFrom reconstructs a mutable builder from a frozen graph.
+func builderFrom(g *graph.Graph) *graph.Builder {
+	b := graph.NewBuilder(g.Vocabulary(), g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		b.SetNodeTopics(graph.NodeID(u), g.NodeTopics(graph.NodeID(u)))
+		dsts, lbls := g.Out(graph.NodeID(u))
+		for i, v := range dsts {
+			b.AddEdge(graph.NodeID(u), v, lbls[i])
+		}
+	}
+	return b
+}
+
+func (m *Manager) rebuildEngine() error {
+	m.auth = authority.Compute(m.g)
+	return m.remakeEngine()
+}
+
+func (m *Manager) remakeEngine() error {
+	eng, err := core.NewEngine(m.g, m.auth, m.cfg.Sim, m.cfg.Params)
+	if err != nil {
+		return err
+	}
+	m.eng = eng
+	return nil
+}
+
+// Graph returns the current frozen graph.
+func (m *Manager) Graph() *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.g
+}
+
+// Stats returns maintenance counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.StaleNow = len(m.stale)
+	return s
+}
+
+// Update is one follow (Add=true) or unfollow change.
+type Update struct {
+	Edge graph.Edge
+	Add  bool
+}
+
+// Apply commits a batch of updates: rebuilds the graph and authority,
+// marks affected landmarks stale, and refreshes them according to the
+// strategy.
+func (m *Manager) Apply(batch []Update) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	var removed []graph.Edge
+	for _, up := range batch {
+		if up.Add {
+			m.builder.AddEdge(up.Edge.Src, up.Edge.Dst, up.Edge.Label)
+			m.stats.EdgesAdded++
+		} else {
+			removed = append(removed, up.Edge)
+			m.stats.EdgesRemoved++
+		}
+	}
+	g, err := m.builder.Freeze()
+	if err != nil {
+		return fmt.Errorf("dynamic: rebuilding graph: %w", err)
+	}
+	if len(removed) > 0 {
+		g = g.WithoutEdges(removed)
+		m.builder = builderFrom(g)
+	}
+	m.g = g
+	// Authority maintenance: small batches only touch the targets of the
+	// changed edges (the paper's local-update observation); large batches
+	// trigger the periodic full recompute, which also lowers any stale
+	// per-topic maxima.
+	if len(batch) <= 8 && m.auth != nil {
+		for _, up := range batch {
+			m.auth.ApplyEdgeChange(g, up.Edge.Dst)
+		}
+		if err := m.remakeEngine(); err != nil {
+			return err
+		}
+	} else {
+		if err := m.rebuildEngine(); err != nil {
+			return err
+		}
+	}
+	m.stats.Batches++
+
+	// Mark affected landmarks. Authority scores shift globally with every
+	// degree change, but the dominant staleness comes from path changes:
+	// a landmark is affected when it reaches a changed edge's source.
+	for _, lm := range m.affectedLandmarks(batch) {
+		m.stale[lm] = true
+	}
+
+	switch m.cfg.Strategy {
+	case Eager:
+		return m.refreshLocked(m.staleList())
+	case Threshold:
+		if len(m.stale) >= m.cfg.StaleBound {
+			return m.refreshLocked(m.staleList())
+		}
+	}
+	return nil
+}
+
+func (m *Manager) staleList() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m.stale))
+	for lm := range m.stale {
+		out = append(out, lm)
+	}
+	return out
+}
+
+// affectedLandmarks finds landmarks that reach any changed edge source
+// within their recorded exploration depth, by a reverse BFS from each
+// changed source.
+func (m *Manager) affectedLandmarks(batch []Update) []graph.NodeID {
+	maxIter := 0
+	for _, lm := range m.lms {
+		if d := m.store.Get(lm); d != nil && d.Iterations > maxIter {
+			maxIter = d.Iterations
+		}
+	}
+	if maxIter == 0 {
+		maxIter = m.cfg.Params.MaxDepth
+	}
+	isLandmark := make(map[graph.NodeID]bool, len(m.lms))
+	for _, lm := range m.lms {
+		isLandmark[lm] = true
+	}
+	hit := make(map[graph.NodeID]bool)
+	for _, up := range batch {
+		// A landmark is stale when it reaches the changed edge's source
+		// (its path scores include the edge) or its target (whose
+		// authority score changed with its follower counts).
+		for _, end := range []graph.NodeID{up.Edge.Src, up.Edge.Dst} {
+			graph.BFSIn(m.g, end, maxIter, func(u graph.NodeID, depth int) bool {
+				if isLandmark[u] {
+					hit[u] = true
+				}
+				return true
+			})
+			if isLandmark[end] {
+				hit[end] = true
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(hit))
+	for lm := range hit {
+		out = append(out, lm)
+	}
+	return out
+}
+
+// refreshLocked re-explores the given landmarks and clears their stale
+// marks. Caller holds mu.
+func (m *Manager) refreshLocked(lms []graph.NodeID) error {
+	if len(lms) == 0 {
+		return nil
+	}
+	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN})
+	for _, lm := range lms {
+		if d := fresh.Get(lm); d != nil {
+			if err := m.store.Put(d); err != nil {
+				return err
+			}
+		}
+		delete(m.stale, lm)
+		m.stats.Refreshes++
+	}
+	return nil
+}
+
+// Recommend answers a query through the landmark approximation, first
+// refreshing any stale landmark the query exploration would meet (Lazy
+// strategy; a no-op otherwise since Apply already refreshed).
+func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Strategy == Lazy && len(m.stale) > 0 {
+		// Refresh the stale landmarks in the query's vicinity.
+		var need []graph.NodeID
+		graph.BFSOut(m.g, u, m.cfg.QueryDepth, func(v graph.NodeID, depth int) bool {
+			if m.stale[v] {
+				need = append(need, v)
+			}
+			return true
+		})
+		if err := m.refreshLocked(need); err != nil {
+			return nil, err
+		}
+	}
+	ap, err := landmark.NewApprox(m.eng, m.store, m.cfg.QueryDepth)
+	if err != nil {
+		return nil, err
+	}
+	return ap.Recommend(u, t, n), nil
+}
+
+// RecommendExact answers with the exact convergence computation on the
+// current graph (reference for tests and quality checks).
+func (m *Manager) RecommendExact(u graph.NodeID, t topics.ID, n int) []ranking.Scored {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return core.NewRecommender(m.eng).Recommend(u, t, n)
+}

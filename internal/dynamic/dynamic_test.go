@@ -1,0 +1,194 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+)
+
+func newManager(t *testing.T, strategy Strategy, seed uint64) (*Manager, *gen.Dataset) {
+	t.Helper()
+	ds := gen.RandomWith(60, 600, seed)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 6, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params:     core.DefaultParams(),
+		Sim:        ds.Sim,
+		StoreTopN:  200,
+		QueryDepth: 2,
+		Strategy:   strategy,
+		StaleBound: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestApplyAddsAndRemoves(t *testing.T) {
+	m, ds := newManager(t, Eager, 1)
+	before := m.Graph().NumEdges()
+	// Add two fresh edges, remove one existing.
+	existing := ds.Graph.Edges()[0]
+	batch := []Update{
+		{Edge: graph.Edge{Src: 0, Dst: 59, Label: topics.NewSet(0)}, Add: true},
+		{Edge: graph.Edge{Src: 59, Dst: 1, Label: topics.NewSet(1)}, Add: true},
+		{Edge: existing, Add: false},
+	}
+	if err := m.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Graph()
+	if g.NumEdges() != before+1 {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), before+1)
+	}
+	if !g.HasEdge(0, 59) || !g.HasEdge(59, 1) {
+		t.Error("added edges missing")
+	}
+	if g.HasEdge(existing.Src, existing.Dst) {
+		t.Error("removed edge still present")
+	}
+	st := m.Stats()
+	if st.Batches != 1 || st.EdgesAdded != 2 || st.EdgesRemoved != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEagerRefreshMatchesRebuild(t *testing.T) {
+	m, ds := newManager(t, Eager, 2)
+	// Mutate around a landmark: remove some of its out-edges and add new
+	// ones so its stored lists are genuinely wrong.
+	lm := m.store.Landmarks()[0]
+	dsts, lbls := ds.Graph.Out(lm)
+	if len(dsts) == 0 {
+		t.Skip("landmark without followees")
+	}
+	batch := []Update{
+		{Edge: graph.Edge{Src: lm, Dst: dsts[0], Label: lbls[0]}, Add: false},
+		{Edge: graph.Edge{Src: lm, Dst: (lm + 17) % 60, Label: topics.NewSet(2)}, Add: true},
+	}
+	if err := m.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Refreshes == 0 {
+		t.Fatal("eager strategy must refresh the touched landmark")
+	}
+	if m.Stats().StaleNow != 0 {
+		t.Fatal("eager strategy must leave nothing stale")
+	}
+	// The refreshed store must equal a from-scratch preprocessing of the
+	// new graph.
+	fresh, _ := landmark.Preprocess(m.eng, m.store.Landmarks(), landmark.PreprocessConfig{TopN: 200})
+	for _, l := range m.store.Landmarks() {
+		a, b := m.store.Get(l), fresh.Get(l)
+		for ti := range a.Topical {
+			la, lb := a.Topical[ti], b.Topical[ti]
+			if la.Len() != lb.Len() {
+				t.Fatalf("landmark %d topic %d: %d vs %d entries", l, ti, la.Len(), lb.Len())
+			}
+			for i := range la.Nodes {
+				if la.Nodes[i] != lb.Nodes[i] {
+					t.Fatalf("landmark %d topic %d rank %d: %d vs %d", l, ti, i, la.Nodes[i], lb.Nodes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLazyRefreshOnQuery(t *testing.T) {
+	m, ds := newManager(t, Lazy, 3)
+	lm := m.store.Landmarks()[0]
+	// Find a user whose 2-hop vicinity contains the landmark, so a query
+	// from it must trigger the lazy refresh.
+	var querier graph.NodeID
+	found := false
+	for u := 0; u < ds.Graph.NumNodes() && !found; u++ {
+		graph.BFSOut(m.Graph(), graph.NodeID(u), 2, func(v graph.NodeID, d int) bool {
+			if v == lm && d > 0 {
+				querier = graph.NodeID(u)
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Skip("no 2-hop querier for the landmark")
+	}
+	if err := m.Apply([]Update{{Edge: graph.Edge{Src: lm, Dst: (lm + 29) % 60, Label: topics.NewSet(1)}, Add: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Refreshes != 0 {
+		t.Fatal("lazy strategy must not refresh at Apply time")
+	}
+	if m.Stats().StaleNow == 0 {
+		t.Fatal("the touched landmark must be stale")
+	}
+	if _, err := m.Recommend(querier, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Refreshes == 0 {
+		t.Fatal("query meeting a stale landmark must refresh it")
+	}
+}
+
+func TestThresholdBatchesRefreshes(t *testing.T) {
+	m, _ := newManager(t, Threshold, 4)
+	// Apply single-edge batches touching distinct landmarks until the
+	// bound (3) trips.
+	lms := m.store.Landmarks()
+	if len(lms) < 3 {
+		t.Skip("not enough landmarks")
+	}
+	for i := 0; i < 3; i++ {
+		up := Update{Edge: graph.Edge{Src: lms[i], Dst: (lms[i] + 31) % 60, Label: topics.NewSet(0)}, Add: true}
+		if err := m.Apply([]Update{up}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Refreshes == 0 {
+		t.Fatalf("threshold (3) should have tripped: %+v", st)
+	}
+	if st.StaleNow != 0 {
+		t.Errorf("threshold refresh must clear staleness: %+v", st)
+	}
+}
+
+func TestRecommendTracksGraphChanges(t *testing.T) {
+	m, ds := newManager(t, Eager, 5)
+	// Give node 0 a brand-new strong connection into a region and check
+	// the recommendation reflects it.
+	var target graph.NodeID = 42
+	if ds.Graph.OutDegree(target) == 0 {
+		target = 43
+	}
+	if err := m.Apply([]Update{{Edge: graph.Edge{Src: 0, Dst: target, Label: topics.NewSet(0)}, Add: true}}); err != nil {
+		t.Fatal(err)
+	}
+	exact := m.RecommendExact(0, 0, 10)
+	if len(exact) == 0 {
+		t.Skip("no recommendations from node 0")
+	}
+	// The approximate answer must come from the refreshed state and not
+	// error.
+	if _, err := m.Recommend(0, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBatchIsNoop(t *testing.T) {
+	m, _ := newManager(t, Eager, 6)
+	if err := m.Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Batches != 0 {
+		t.Error("empty batch must not count")
+	}
+}

@@ -1,0 +1,163 @@
+// Package eval implements the paper's evaluation protocol (Section 5.3):
+// link prediction over a held-out test set of edges. For each test edge
+// u → v, the target v is hidden, 1000 random accounts are sampled, the
+// 1001 candidates are scored for u on the edge's topic and ranked; a "hit"
+// at N means v appears in the top-N. Recall@N = #hits/T and
+// precision@N = #hits/(N·T), with T the test-set size, averaged over
+// trials — exactly the methodology of [Cremonesi et al.] that the paper
+// follows.
+//
+// Test edges respect the topological constraints of [Liben-Nowell &
+// Kleinberg]: the target needs in-degree ≥ kin and the source out-degree
+// ≥ kout so that removing the test set does not destroy the graph's
+// structure. Optional filters restrict targets by popularity (Figure 8)
+// or edges by topic (Figure 9).
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Protocol fixes the evaluation parameters; the defaults are the paper's.
+type Protocol struct {
+	// KIn is the minimum in-degree of a test edge's target (paper: 3).
+	KIn int
+	// KOut is the minimum out-degree of a test edge's source (paper: 3).
+	KOut int
+	// TestSize is T, the number of held-out edges per trial (paper: 100).
+	TestSize int
+	// Negatives is the number of random accounts ranked against the
+	// target (paper: 1000).
+	Negatives int
+	// Trials is the number of repetitions averaged (paper: 100; scaled
+	// runs use fewer).
+	Trials int
+	// Seed drives edge selection and negative sampling.
+	Seed uint64
+}
+
+// DefaultProtocol returns the paper's settings with a reduced trial count
+// suitable for laptop-scale runs.
+func DefaultProtocol() Protocol {
+	return Protocol{KIn: 3, KOut: 3, TestSize: 100, Negatives: 1000, Trials: 3, Seed: 1}
+}
+
+// Validate rejects unusable protocols.
+func (p Protocol) Validate() error {
+	if p.TestSize < 1 || p.Negatives < 1 || p.Trials < 1 {
+		return fmt.Errorf("eval: TestSize, Negatives and Trials must be positive")
+	}
+	return nil
+}
+
+// TestEdge is one held-out edge with the topic it is evaluated on.
+type TestEdge struct {
+	Edge  graph.Edge
+	Topic topics.ID
+}
+
+// EdgeFilter restricts which edges may enter the test set.
+type EdgeFilter func(g *graph.Graph, e graph.Edge) bool
+
+// TargetPopularityFilter keeps edges whose target's in-degree lies in
+// [min, max] — the Figure 8 breakdown uses the bottom-10% and top-10%
+// in-degree bands.
+func TargetPopularityFilter(min, max int) EdgeFilter {
+	return func(g *graph.Graph, e graph.Edge) bool {
+		d := g.InDegree(e.Dst)
+		return d >= min && d <= max
+	}
+}
+
+// TopicFilter keeps edges labeled with topic t; the test edge is then
+// evaluated on t (Figure 9).
+func TopicFilter(t topics.ID) EdgeFilter {
+	return func(_ *graph.Graph, e graph.Edge) bool { return e.Label.Has(t) }
+}
+
+// SelectTestEdges samples a test set satisfying the protocol constraints
+// and every filter. The evaluated topic of each edge is drawn uniformly
+// from the edge's label (or forced to the TopicFilter's topic when that
+// filter is given — pass wantTopic >= 0 for that).
+func SelectTestEdges(g *graph.Graph, p Protocol, r *rand.Rand, wantTopic topics.ID, filters ...EdgeFilter) ([]TestEdge, error) {
+	edges := g.Edges()
+	// Shuffle candidate order so the test set is a uniform sample.
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	out := make([]TestEdge, 0, p.TestSize)
+	removedOut := make(map[graph.NodeID]int) // removals per source so far
+	removedIn := make(map[graph.NodeID]int)  // removals per target so far
+scan:
+	for _, e := range edges {
+		if len(out) == p.TestSize {
+			break
+		}
+		if e.Label.IsEmpty() {
+			continue
+		}
+		// Degree constraints must hold after prior removals too, so the
+		// reduced graph keeps every source ≥ kout-1 and target ≥ kin-1.
+		if g.OutDegree(e.Src)-removedOut[e.Src] < p.KOut {
+			continue
+		}
+		if g.InDegree(e.Dst)-removedIn[e.Dst] < p.KIn {
+			continue
+		}
+		for _, f := range filters {
+			if !f(g, e) {
+				continue scan
+			}
+		}
+		topic := wantTopic
+		if topic == topics.None {
+			ts := e.Label.Topics()
+			topic = ts[r.IntN(len(ts))]
+		}
+		out = append(out, TestEdge{Edge: e, Topic: topic})
+		removedOut[e.Src]++
+		removedIn[e.Dst]++
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: no edges satisfy the test-set constraints")
+	}
+	return out, nil
+}
+
+// SampleNegatives draws k accounts uniformly, excluding the source, the
+// target, and duplicates.
+func SampleNegatives(g *graph.Graph, r *rand.Rand, k int, src, dst graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, k)
+	seen := make(map[graph.NodeID]bool, k+2)
+	seen[src], seen[dst] = true, true
+	n := g.NumNodes()
+	if k > n-2 {
+		k = n - 2
+	}
+	for len(out) < k {
+		v := graph.NodeID(r.IntN(n))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// RankOfTarget returns the 1-based rank of the target among the
+// candidates: 1 + the number of candidates scoring strictly higher, plus
+// those scoring equal with a smaller node id (the deterministic
+// tie-breaking of ranking.SortDesc). scores[i] scores cands[i];
+// targetScore scores the target itself.
+func RankOfTarget(cands []graph.NodeID, scores []float64, target graph.NodeID, targetScore float64) int {
+	rank := 1
+	for i, c := range cands {
+		if scores[i] > targetScore || (scores[i] == targetScore && c < target) {
+			rank++
+		}
+	}
+	return rank
+}

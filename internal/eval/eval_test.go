@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+func TestSelectTestEdgesConstraints(t *testing.T) {
+	ds := gen.RandomWith(100, 1500, 1)
+	p := DefaultProtocol()
+	p.TestSize = 30
+	r := rand.New(rand.NewPCG(1, 2))
+	set, err := SelectTestEdges(ds.Graph, p, r, topics.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) == 0 || len(set) > 30 {
+		t.Fatalf("selected %d edges", len(set))
+	}
+	perSrc := map[graph.NodeID]int{}
+	perDst := map[graph.NodeID]int{}
+	for _, te := range set {
+		if !te.Edge.Label.Has(te.Topic) {
+			t.Fatalf("evaluation topic %d not on edge label", te.Topic)
+		}
+		perSrc[te.Edge.Src]++
+		perDst[te.Edge.Dst]++
+	}
+	// After removal each source keeps >= KOut - ... the selection requires
+	// remaining degree >= K before each removal, so post-removal degree is
+	// >= K-1... verify the documented invariant: pre-removal degree minus
+	// removals >= KOut for the last accepted edge, hence final >= KOut-1.
+	for s, k := range perSrc {
+		if ds.Graph.OutDegree(s)-k < p.KOut-1 {
+			t.Errorf("source %d left with %d followees", s, ds.Graph.OutDegree(s)-k)
+		}
+	}
+	for d, k := range perDst {
+		if ds.Graph.InDegree(d)-k < p.KIn-1 {
+			t.Errorf("target %d left with %d followers", d, ds.Graph.InDegree(d)-k)
+		}
+	}
+}
+
+func TestSelectTestEdgesFilters(t *testing.T) {
+	ds := gen.RandomWith(80, 1200, 2)
+	p := DefaultProtocol()
+	p.TestSize = 20
+	r := rand.New(rand.NewPCG(3, 4))
+	low, _ := graph.InDegreePercentileCutoffs(ds.Graph, 0.5)
+	set, err := SelectTestEdges(ds.Graph, p, r, topics.None, TargetPopularityFilter(0, low))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range set {
+		if ds.Graph.InDegree(te.Edge.Dst) > low {
+			t.Fatalf("popularity filter violated")
+		}
+	}
+	// Topic filter pins the evaluated topic.
+	set, err = SelectTestEdges(ds.Graph, p, r, topics.ID(0), TopicFilter(0))
+	if err != nil {
+		t.Skip("no edges on topic 0 in this random graph")
+	}
+	for _, te := range set {
+		if te.Topic != 0 || !te.Edge.Label.Has(0) {
+			t.Fatal("topic filter violated")
+		}
+	}
+}
+
+func TestSelectTestEdgesImpossible(t *testing.T) {
+	ds := gen.RandomWith(10, 12, 3)
+	p := DefaultProtocol()
+	p.KIn, p.KOut = 50, 50 // unsatisfiable
+	r := rand.New(rand.NewPCG(1, 1))
+	if _, err := SelectTestEdges(ds.Graph, p, r, topics.None); err == nil {
+		t.Error("unsatisfiable constraints must error")
+	}
+}
+
+func TestSampleNegatives(t *testing.T) {
+	ds := gen.RandomWith(50, 200, 4)
+	r := rand.New(rand.NewPCG(5, 6))
+	negs := SampleNegatives(ds.Graph, r, 30, 3, 7)
+	if len(negs) != 30 {
+		t.Fatalf("got %d negatives", len(negs))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range negs {
+		if v == 3 || v == 7 {
+			t.Fatal("negatives must exclude src and dst")
+		}
+		if seen[v] {
+			t.Fatal("negatives must be distinct")
+		}
+		seen[v] = true
+	}
+	// Requesting more than available caps out.
+	negs = SampleNegatives(ds.Graph, r, 500, 0, 1)
+	if len(negs) != 48 {
+		t.Errorf("capped negatives = %d, want 48", len(negs))
+	}
+}
+
+func TestRankOfTarget(t *testing.T) {
+	cands := []graph.NodeID{10, 20, 30}
+	scores := []float64{5, 3, 3}
+	// Target 25 scoring 3: beaten by 10 (5) and by 20 (3, smaller id).
+	if r := RankOfTarget(cands, scores, 25, 3); r != 3 {
+		t.Errorf("rank = %d, want 3", r)
+	}
+	if r := RankOfTarget(cands, scores, 25, 6); r != 1 {
+		t.Errorf("rank = %d, want 1", r)
+	}
+	if r := RankOfTarget(nil, nil, 1, 0); r != 1 {
+		t.Errorf("rank with no candidates = %d, want 1", r)
+	}
+}
+
+// perfectOracle scores the removed target above everything; recall must be
+// 1 at every cutoff. blindOracle scores everything 0... the target ties at
+// score 0 with all candidates, landing wherever ids put it.
+type constRec struct {
+	name  string
+	score func(c graph.NodeID) float64
+}
+
+func (c constRec) Name() string { return c.name }
+func (c constRec) ScoreCandidates(_ graph.NodeID, _ topics.ID, cands []graph.NodeID) []float64 {
+	out := make([]float64, len(cands))
+	for i, cd := range cands {
+		out[i] = c.score(cd)
+	}
+	return out
+}
+func (c constRec) Recommend(_ graph.NodeID, _ topics.ID, n int) []ranking.Scored { return nil }
+
+func TestRunLinkPredictionWithOracles(t *testing.T) {
+	ds := gen.RandomWith(100, 1500, 7)
+	p := DefaultProtocol()
+	p.TestSize = 15
+	p.Trials = 2
+	p.Negatives = 100
+
+	// A popularity scorer must beat an anti-popularity scorer on recall
+	// (targets are constrained to in-degree >= 3).
+	popular := MethodFactory{
+		Name: "in-degree",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return constRec{name: "in-degree", score: func(c graph.NodeID) float64 {
+				return float64(ds.Graph.InDegree(c))
+			}}, nil
+		},
+	}
+	antirank := MethodFactory{
+		Name: "anti",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return constRec{name: "anti", score: func(c graph.NodeID) float64 {
+				return -float64(ds.Graph.InDegree(c))
+			}}, nil
+		},
+	}
+	curves, err := RunLinkPrediction(ds.Graph, p, []MethodFactory{popular, antirank}, []int{1, 5, 10, 20}, topics.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("%d curves", len(curves))
+	}
+	for _, c := range curves {
+		if c.Tests <= 0 {
+			t.Fatalf("tests = %d", c.Tests)
+		}
+		// Recall must be non-decreasing in N; precision = recall·T/(N·T).
+		for i := 1; i < len(c.Ns); i++ {
+			if c.Recall[i] < c.Recall[i-1] {
+				t.Errorf("%s: recall not monotone: %v", c.Method, c.Recall)
+			}
+		}
+		for i, n := range c.Ns {
+			want := c.Recall[i] / float64(n)
+			if d := c.Precision[i] - want; d > 1e-12 || d < -1e-12 {
+				t.Errorf("%s: precision[%d] = %g, want recall/N = %g", c.Method, i, c.Precision[i], want)
+			}
+		}
+	}
+	// Popularity beats anti-popularity (targets have in-degree >= 3).
+	if curves[0].RecallAt(20) <= curves[1].RecallAt(20) {
+		t.Errorf("in-degree (%.2f) should beat anti (%.2f) at 20",
+			curves[0].RecallAt(20), curves[1].RecallAt(20))
+	}
+}
+
+func TestRunLinkPredictionValidation(t *testing.T) {
+	ds := gen.RandomWith(30, 200, 8)
+	p := DefaultProtocol()
+	if _, err := RunLinkPrediction(ds.Graph, p, nil, nil, topics.None); err == nil {
+		t.Error("no cutoffs must error")
+	}
+	p.TestSize = 0
+	if _, err := RunLinkPrediction(ds.Graph, p, nil, []int{1}, topics.None); err == nil {
+		t.Error("invalid protocol must error")
+	}
+}
+
+func TestMRRAndNDCG(t *testing.T) {
+	ds := gen.RandomWith(100, 1500, 13)
+	p := DefaultProtocol()
+	p.TestSize = 20
+	p.Trials = 1
+	p.Negatives = 50
+	// Popularity scoring correlates with the target (in-degree >= 3);
+	// anti-popularity anti-correlates. Bounds and ordering are asserted.
+	perfect := MethodFactory{
+		Name: "perfect",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return constRec{name: "perfect", score: func(c graph.NodeID) float64 {
+				return float64(ds.Graph.InDegree(c))
+			}}, nil
+		},
+	}
+	worst := MethodFactory{
+		Name: "worst",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return constRec{name: "worst", score: func(c graph.NodeID) float64 {
+				return -float64(ds.Graph.InDegree(c))
+			}}, nil
+		},
+	}
+	curves, err := RunLinkPrediction(ds.Graph, p, []MethodFactory{perfect, worst}, []int{10}, topics.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		if c.MRR < 0 || c.MRR > 1 {
+			t.Errorf("%s: MRR = %g out of range", c.Method, c.MRR)
+		}
+		if c.NDCG < 0 || c.NDCG > 1 {
+			t.Errorf("%s: NDCG = %g out of range", c.Method, c.NDCG)
+		}
+		// NDCG@10 can never exceed recall@10 logic: a hit contributes at
+		// most 1, so NDCG <= recall@10.
+		if c.NDCG > c.RecallAt(10)+1e-12 {
+			t.Errorf("%s: NDCG %g exceeds recall@10 %g", c.Method, c.NDCG, c.RecallAt(10))
+		}
+	}
+	if curves[0].MRR <= curves[1].MRR {
+		t.Errorf("popularity MRR (%g) must beat anti-popularity (%g)", curves[0].MRR, curves[1].MRR)
+	}
+	if curves[0].NDCG <= curves[1].NDCG {
+		t.Errorf("popularity NDCG (%g) must beat anti-popularity (%g)", curves[0].NDCG, curves[1].NDCG)
+	}
+}

@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// MethodFactory builds a recommender over the reduced graph of a trial
+// (the graph with the test edges removed). Building per trial is required
+// because authority scores, transition matrices, etc. must not see the
+// held-out edges.
+type MethodFactory struct {
+	Name  string
+	Build func(g *graph.Graph) (ranking.Recommender, error)
+}
+
+// Curve is the recall/precision of one method at each cutoff N.
+type Curve struct {
+	Method    string
+	Ns        []int
+	Recall    []float64 // recall@Ns[i]
+	Precision []float64 // precision@Ns[i]
+	// MRR is the mean reciprocal rank of the hidden target over all
+	// rankings (the link-prediction task has exactly one relevant item,
+	// so MAP and MRR coincide).
+	MRR float64
+	// NDCG is the mean normalized discounted cumulative gain at the
+	// largest cutoff: 1/log2(1+rank) when the target lands within it.
+	NDCG float64
+	// Tests is the total number of (trial × edge) rankings aggregated.
+	Tests int
+}
+
+// RecallAt returns recall at cutoff n (0 if n is not a measured cutoff).
+func (c Curve) RecallAt(n int) float64 {
+	for i, m := range c.Ns {
+		if m == n {
+			return c.Recall[i]
+		}
+	}
+	return 0
+}
+
+// RunLinkPrediction executes the full protocol: for each trial it samples
+// a test set (subject to filters), removes it, rebuilds every method on
+// the reduced graph, ranks target-vs-negatives per test edge and
+// accumulates hits at each cutoff. wantTopic >= 0 forces the evaluation
+// topic (Figure 9); pass topics.None otherwise.
+func RunLinkPrediction(g *graph.Graph, p Protocol, methods []MethodFactory, ns []int, wantTopic topics.ID, filters ...EdgeFilter) ([]Curve, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("eval: no cutoffs given")
+	}
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+
+	hits := make([][]int, len(methods)) // [method][nsIndex]
+	for i := range hits {
+		hits[i] = make([]int, len(ns))
+	}
+	rrSum := make([]float64, len(methods))
+	ndcgSum := make([]float64, len(methods))
+	tests := 0
+
+	for trial := 0; trial < p.Trials; trial++ {
+		r := rand.New(rand.NewPCG(p.Seed+uint64(trial)*1013, 0x5eed))
+		testSet, err := SelectTestEdges(g, p, r, wantTopic, filters...)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		removed := make([]graph.Edge, len(testSet))
+		for i, te := range testSet {
+			removed[i] = te.Edge
+		}
+		reduced := g.WithoutEdges(removed)
+
+		recs := make([]ranking.Recommender, len(methods))
+		for i, m := range methods {
+			rec, err := m.Build(reduced)
+			if err != nil {
+				return nil, fmt.Errorf("trial %d: building %s: %w", trial, m.Name, err)
+			}
+			recs[i] = rec
+		}
+
+		for _, te := range testSet {
+			negs := SampleNegatives(reduced, r, p.Negatives, te.Edge.Src, te.Edge.Dst)
+			cands := append(append(make([]graph.NodeID, 0, len(negs)+1), negs...), te.Edge.Dst)
+			for mi, rec := range recs {
+				scores := rec.ScoreCandidates(te.Edge.Src, te.Topic, cands)
+				target := scores[len(scores)-1]
+				rank := RankOfTarget(cands[:len(cands)-1], scores[:len(scores)-1], te.Edge.Dst, target)
+				for ni, n := range ns {
+					if rank <= n {
+						hits[mi][ni]++
+					}
+				}
+				rrSum[mi] += 1 / float64(rank)
+				if rank <= maxN {
+					ndcgSum[mi] += 1 / math.Log2(1+float64(rank))
+				}
+			}
+			tests++
+		}
+	}
+
+	curves := make([]Curve, len(methods))
+	for mi, m := range methods {
+		c := Curve{Method: m.Name, Ns: ns, Tests: tests,
+			MRR: rrSum[mi] / float64(tests), NDCG: ndcgSum[mi] / float64(tests)}
+		c.Recall = make([]float64, len(ns))
+		c.Precision = make([]float64, len(ns))
+		for ni, n := range ns {
+			c.Recall[ni] = float64(hits[mi][ni]) / float64(tests)
+			c.Precision[ni] = float64(hits[mi][ni]) / (float64(n) * float64(tests))
+		}
+		curves[mi] = c
+	}
+	return curves, nil
+}

@@ -1,0 +1,195 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (Section 5). Each driver returns a structured result
+// with a String() rendering the paper's rows/series; cmd/trbench and the
+// repository-level benchmarks share these drivers.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/katz"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+	"repro/internal/twitterrank"
+)
+
+// Config sizes the experiments. Everything defaults to laptop-scale
+// datasets that keep the paper's structural shape (see DESIGN.md).
+type Config struct {
+	// Twitter and DBLP generate the two datasets.
+	Twitter gen.TwitterConfig
+	DBLP    gen.DBLPConfig
+	// Protocol is the link-prediction protocol.
+	Protocol eval.Protocol
+	// Params are the scoring parameters (β = 0.0005, α = 0.85).
+	Params core.Params
+	// QueryDepth caps the exploration of the exact path-based methods
+	// during evaluation; 0 means run to convergence. Small β makes depth
+	// 4 effectively exact while bounding cost.
+	QueryDepth int
+	// Landmarks is |L| for the landmark experiments.
+	Landmarks int
+	// StoreTopN is the per-topic list length kept at preprocessing.
+	StoreTopN int
+	// ApproxDepth is the query-time exploration depth (paper: 2).
+	ApproxDepth int
+	// QueryNodes is how many query nodes the landmark-quality experiment
+	// averages over.
+	QueryNodes int
+	// Seed scopes all experiment-level randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the scaled-down defaults.
+func DefaultConfig() Config {
+	tw := gen.DefaultTwitterConfig()
+	tw.Nodes = 8000
+	tw.AvgOut = 18
+	db := gen.DefaultDBLPConfig()
+	db.Authors = 6000
+	db.AvgOut = 16
+	proto := eval.DefaultProtocol()
+	proto.Trials = 2
+	proto.TestSize = 60
+	return Config{
+		Twitter:     tw,
+		DBLP:        db,
+		Protocol:    proto,
+		Params:      core.DefaultParams(),
+		QueryDepth:  4,
+		Landmarks:   40,
+		StoreTopN:   1000,
+		ApproxDepth: 2,
+		QueryNodes:  20,
+		Seed:        7,
+	}
+}
+
+// Runner caches the generated datasets across experiments.
+type Runner struct {
+	cfg Config
+
+	once    sync.Once
+	twitter *gen.Dataset
+	dblp    *gen.Dataset
+	genErr  error
+}
+
+// NewRunner creates a runner for the given configuration.
+func NewRunner(cfg Config) *Runner { return &Runner{cfg: cfg} }
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// datasets generates (once) and returns both datasets.
+func (r *Runner) datasets() (*gen.Dataset, *gen.Dataset, error) {
+	r.once.Do(func() {
+		tw, err := gen.Twitter(r.cfg.Twitter)
+		if err != nil {
+			r.genErr = fmt.Errorf("generating twitter dataset: %w", err)
+			return
+		}
+		db, err := gen.DBLP(r.cfg.DBLP)
+		if err != nil {
+			r.genErr = fmt.Errorf("generating dblp dataset: %w", err)
+			return
+		}
+		r.twitter, r.dblp = tw, db
+	})
+	return r.twitter, r.dblp, r.genErr
+}
+
+// TwitterDataset returns the generated Twitter-like dataset.
+func (r *Runner) TwitterDataset() (*gen.Dataset, error) {
+	tw, _, err := r.datasets()
+	return tw, err
+}
+
+// DBLPDataset returns the generated DBLP-like dataset.
+func (r *Runner) DBLPDataset() (*gen.Dataset, error) {
+	_, db, err := r.datasets()
+	return db, err
+}
+
+// trFactory builds one Tr-variant method factory; the engine is
+// reconstructed per trial so authority sees only the reduced graph.
+func (r *Runner) trFactory(name string, variant core.Variant, sim *topics.SimMatrix) eval.MethodFactory {
+	depth := r.cfg.QueryDepth
+	params := r.cfg.Params
+	params.Variant = variant
+	return eval.MethodFactory{
+		Name: name,
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			var auth *authority.Table
+			if variant == core.TrFull || variant == core.TrNoSim {
+				auth = authority.Compute(g)
+			}
+			var sm *topics.SimMatrix
+			if variant == core.TrFull || variant == core.TrNoAuth {
+				sm = sim
+			}
+			eng, err := core.NewEngine(g, auth, sm, params)
+			if err != nil {
+				return nil, err
+			}
+			opts := []core.RecommenderOption{}
+			if depth > 0 {
+				opts = append(opts, core.WithDepth(depth))
+			}
+			return core.NewRecommender(eng, opts...), nil
+		},
+	}
+}
+
+// katzFactory builds the Katz baseline factory.
+func (r *Runner) katzFactory() eval.MethodFactory {
+	beta := r.cfg.Params.Beta
+	depth := r.cfg.QueryDepth
+	return eval.MethodFactory{
+		Name: "Katz",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return katz.New(g, beta, depth)
+		},
+	}
+}
+
+// twitterRankFactory builds the TwitterRank baseline factory.
+func (r *Runner) twitterRankFactory() eval.MethodFactory {
+	return eval.MethodFactory{
+		Name: "TwitterRank",
+		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+			return twitterrank.New(twitterrank.InputFromProfiles(g), twitterrank.DefaultParams())
+		},
+	}
+}
+
+// coreMethods returns the three headline methods (Tr, Katz, TwitterRank).
+func (r *Runner) coreMethods(ds *gen.Dataset) []eval.MethodFactory {
+	return []eval.MethodFactory{
+		r.trFactory("Tr", core.TrFull, ds.Sim),
+		r.katzFactory(),
+		r.twitterRankFactory(),
+	}
+}
+
+// allMethods additionally includes the two ablations of Figure 4.
+func (r *Runner) allMethods(ds *gen.Dataset) []eval.MethodFactory {
+	return append(r.coreMethods(ds),
+		r.trFactory("Tr-auth", core.TrNoAuth, ds.Sim),
+		r.trFactory("Tr-sim", core.TrNoSim, ds.Sim),
+	)
+}
+
+// engineFor builds a full-Tr engine over the dataset's unreduced graph
+// (landmark and study experiments use the full graph).
+func (r *Runner) engineFor(ds *gen.Dataset) (*core.Engine, error) {
+	params := r.cfg.Params
+	params.Variant = core.TrFull
+	return core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, params)
+}

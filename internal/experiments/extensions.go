@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+)
+
+// DynamicResult reports the update-maintenance experiment (the paper's
+// first future-work direction): per strategy, the cost of applying a
+// stream of follow/unfollow updates and the refresh work it triggered.
+type DynamicResult struct {
+	Rows []DynamicRow
+	// FullRebuild is the baseline: preprocessing everything from scratch
+	// once.
+	FullRebuild time.Duration
+}
+
+// DynamicRow is one refresh strategy's bill for the update stream.
+type DynamicRow struct {
+	Strategy  dynamic.Strategy
+	Updates   int
+	Total     time.Duration // wall time for the whole stream
+	Refreshes int
+	StaleLeft int
+}
+
+// ExtDynamic streams single-edge updates through each refresh strategy.
+func (r *Runner) ExtDynamic() (*DynamicResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	lms, err := landmark.Select(tw.Graph, landmark.InDeg, r.cfg.Landmarks/2+1, landmark.DefaultSelectConfig())
+	if err != nil {
+		return nil, err
+	}
+	const updates = 12
+	res := &DynamicResult{}
+
+	t0 := time.Now()
+	eng, err := r.engineFor(tw)
+	if err != nil {
+		return nil, err
+	}
+	landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 200})
+	res.FullRebuild = time.Since(t0)
+
+	for _, strat := range []dynamic.Strategy{dynamic.Eager, dynamic.Lazy, dynamic.Threshold} {
+		m, err := dynamic.NewManager(tw.Graph, lms, dynamic.Config{
+			Params: r.cfg.Params, Sim: tw.Sim, StoreTopN: 200,
+			QueryDepth: r.cfg.ApproxDepth, Strategy: strat, StaleBound: 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		n := tw.Graph.NumNodes()
+		for i := 0; i < updates; i++ {
+			src := graph.NodeID((i*131 + 7) % n)
+			dst := graph.NodeID((i*257 + 31) % n)
+			if src == dst {
+				continue
+			}
+			up := dynamic.Update{
+				Edge: graph.Edge{Src: src, Dst: dst, Label: topics.NewSet(topics.ID(i % tw.Vocabulary().Len()))},
+				Add:  true,
+			}
+			if err := m.Apply([]dynamic.Update{up}); err != nil {
+				return nil, err
+			}
+			// Interleave a query so Lazy has a chance to pay its debt.
+			if i%3 == 2 {
+				if _, err := m.Recommend(src, 0, 10); err != nil {
+					return nil, err
+				}
+			}
+		}
+		st := m.Stats()
+		res.Rows = append(res.Rows, DynamicRow{
+			Strategy:  strat,
+			Updates:   updates,
+			Total:     time.Since(start),
+			Refreshes: st.Refreshes,
+			StaleLeft: st.StaleNow,
+		})
+	}
+	return res, nil
+}
+
+// String renders the strategy comparison.
+func (d *DynamicResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "full preprocessing (baseline): %s\n", d.FullRebuild.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-10s %8s %14s %10s %10s\n", "Strategy", "updates", "stream time", "refreshes", "stale")
+	for _, row := range d.Rows {
+		fmt.Fprintf(&b, "%-10s %8d %14s %10d %10d\n",
+			row.Strategy, row.Updates, row.Total.Round(time.Millisecond), row.Refreshes, row.StaleLeft)
+	}
+	return b.String()
+}
+
+// DistribResult reports the partitioned-deployment experiment (the
+// paper's second future-work direction): cut edges and per-query network
+// traffic for connectivity-aware vs hash partitioning.
+type DistribResult struct {
+	Parts int
+	Rows  []DistribRow
+}
+
+// DistribRow is one partitioning scheme's network bill.
+type DistribRow struct {
+	Scheme        string
+	CutEdges      int
+	CutFraction   float64
+	BytesPerQuery float64
+	RecordsPer    float64
+	GatherPer     float64
+}
+
+// ExtDistrib compares partitioning schemes on the simulated cluster.
+func (r *Runner) ExtDistrib() (*DistribResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := r.engineFor(tw)
+	if err != nil {
+		return nil, err
+	}
+	lms, err := landmark.Select(tw.Graph, landmark.InDeg, r.cfg.Landmarks/2+1, landmark.DefaultSelectConfig())
+	if err != nil {
+		return nil, err
+	}
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 200})
+
+	const parts = 8
+	res := &DistribResult{Parts: parts}
+	schemes := []struct {
+		name   string
+		assign distrib.Assignment
+	}{
+		{"hash", distrib.HashPartition(tw.Graph, parts)},
+		{"connectivity", distrib.ConnectivityPartition(tw.Graph, parts, r.cfg.Seed)},
+	}
+	for _, s := range schemes {
+		cl, err := distrib.NewCluster(eng, s.assign, store, r.cfg.ApproxDepth)
+		if err != nil {
+			return nil, err
+		}
+		cut := distrib.CutEdges(tw.Graph, s.assign)
+		var bytes, records, gather, queries int
+		for u := 0; u < tw.Graph.NumNodes() && queries < r.cfg.QueryNodes; u += 97 {
+			uid := graph.NodeID(u)
+			if tw.Graph.OutDegree(uid) < 3 {
+				continue
+			}
+			_, st := cl.Query(uid, topics.ID(u%tw.Vocabulary().Len()), 100)
+			bytes += st.Bytes
+			records += st.Records
+			gather += st.GatherBytes
+			queries++
+		}
+		if queries == 0 {
+			return nil, fmt.Errorf("ext-distrib: no query nodes")
+		}
+		res.Rows = append(res.Rows, DistribRow{
+			Scheme:        s.name,
+			CutEdges:      cut,
+			CutFraction:   float64(cut) / float64(tw.Graph.NumEdges()),
+			BytesPerQuery: float64(bytes) / float64(queries),
+			RecordsPer:    float64(records) / float64(queries),
+			GatherPer:     float64(gather) / float64(queries),
+		})
+	}
+	return res, nil
+}
+
+// String renders the scheme comparison.
+func (d *DistribResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partitions: %d\n", d.Parts)
+	fmt.Fprintf(&b, "%-14s %10s %8s %14s %12s %14s\n", "Scheme", "cut-edges", "cut-%", "bytes/query", "records/q", "gather-B/q")
+	for _, row := range d.Rows {
+		fmt.Fprintf(&b, "%-14s %10d %7.1f%% %14.0f %12.1f %14.0f\n",
+			row.Scheme, row.CutEdges, row.CutFraction*100, row.BytesPerQuery, row.RecordsPer, row.GatherPer)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// recallCutoffs are the N values of the recall@N figures.
+var recallCutoffs = []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20}
+
+// prCutoffs extend the cutoffs for the precision-recall figures.
+var prCutoffs = []int{1, 2, 3, 5, 8, 10, 15, 20, 30, 50, 75, 100}
+
+// RecallResult is a set of recall/precision curves (Figures 4–7).
+type RecallResult struct {
+	Dataset string
+	Curves  []eval.Curve
+}
+
+// Fig4 runs the Twitter recall@N comparison: Tr, Katz, TwitterRank and
+// the two ablations Tr−auth and Tr−sim.
+func (r *Runner) Fig4() (*RecallResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	return r.recallOn(tw, r.allMethods(tw), recallCutoffs)
+}
+
+// Fig5 runs the Twitter precision-vs-recall comparison (same protocol,
+// wider cutoffs).
+func (r *Runner) Fig5() (*RecallResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	return r.recallOn(tw, r.coreMethods(tw), prCutoffs)
+}
+
+// Fig6 runs the DBLP recall@N comparison.
+func (r *Runner) Fig6() (*RecallResult, error) {
+	db, err := r.DBLPDataset()
+	if err != nil {
+		return nil, err
+	}
+	return r.recallOn(db, r.coreMethods(db), recallCutoffs)
+}
+
+// Fig7 runs the DBLP precision-vs-recall comparison.
+func (r *Runner) Fig7() (*RecallResult, error) {
+	db, err := r.DBLPDataset()
+	if err != nil {
+		return nil, err
+	}
+	return r.recallOn(db, r.coreMethods(db), prCutoffs)
+}
+
+func (r *Runner) recallOn(ds *gen.Dataset, methods []eval.MethodFactory, ns []int) (*RecallResult, error) {
+	curves, err := eval.RunLinkPrediction(ds.Graph, r.cfg.Protocol, methods, ns, topics.None)
+	if err != nil {
+		return nil, err
+	}
+	return &RecallResult{Dataset: ds.Name, Curves: curves}, nil
+}
+
+// String renders recall@N rows per method.
+func (rr *RecallResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset: %s\n", rr.Dataset)
+	if len(rr.Curves) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", "N")
+	for _, n := range rr.Curves[0].Ns {
+		fmt.Fprintf(&b, "%8d", n)
+	}
+	b.WriteByte('\n')
+	for _, c := range rr.Curves {
+		fmt.Fprintf(&b, "%-12s", c.Method+" R")
+		for _, v := range c.Recall {
+			fmt.Fprintf(&b, "%8.3f", v)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-12s", c.Method+" P")
+		for _, v := range c.Precision {
+			fmt.Fprintf(&b, "%8.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CurveFor returns the curve of the named method.
+func (rr *RecallResult) CurveFor(method string) (eval.Curve, bool) {
+	for _, c := range rr.Curves {
+		if c.Method == method {
+			return c, true
+		}
+	}
+	return eval.Curve{}, false
+}
+
+// Fig8Result reproduces Figure 8: recall@10 for targets drawn from the
+// bottom-10% vs top-10% in-degree bands on both datasets.
+type Fig8Result struct {
+	// Groups are "TW min", "TW max", "DBLP min", "DBLP max".
+	Groups []Fig8Group
+}
+
+// Fig8Group is one dataset×band group with recall@10 per method.
+type Fig8Group struct {
+	Group    string
+	RecallAt map[string]float64 // method → recall@10
+}
+
+// Fig8 runs the popularity breakdown.
+func (r *Runner) Fig8() (*Fig8Result, error) {
+	tw, db, err := r.datasets()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{}
+	type spec struct {
+		ds   *gen.Dataset
+		name string
+		band string
+	}
+	for _, s := range []spec{
+		{tw, "TW", "min"}, {tw, "TW", "max"},
+		{db, "DBLP", "min"}, {db, "DBLP", "max"},
+	} {
+		low, high := graph.InDegreePercentileCutoffs(s.ds.Graph, 0.10)
+		var filter eval.EdgeFilter
+		if s.band == "min" {
+			filter = eval.TargetPopularityFilter(r.cfg.Protocol.KIn, low)
+		} else {
+			filter = eval.TargetPopularityFilter(high, 1<<30)
+		}
+		curves, err := eval.RunLinkPrediction(s.ds.Graph, r.cfg.Protocol, r.coreMethods(s.ds), []int{10}, topics.None, filter)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s %s: %w", s.name, s.band, err)
+		}
+		g := Fig8Group{Group: s.name + " " + s.band, RecallAt: map[string]float64{}}
+		for _, c := range curves {
+			g.RecallAt[c.Method] = c.RecallAt(10)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	return res, nil
+}
+
+// String renders the grouped bars as rows.
+func (f *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s\n", "group", "Katz", "Tr", "TwitterRank")
+	for _, g := range f.Groups {
+		fmt.Fprintf(&b, "%-10s %8.3f %8.3f %12.3f\n",
+			g.Group, g.RecallAt["Katz"], g.RecallAt["Tr"], g.RecallAt["TwitterRank"])
+	}
+	return b.String()
+}
+
+// Fig9Result reproduces Figure 9: recall@10 per query-topic popularity
+// (social = rare, leisure = medium, technology = popular).
+type Fig9Result struct {
+	Topics []string
+	// RecallAt[topic][method] = recall@10.
+	RecallAt map[string]map[string]float64
+}
+
+// Fig9 runs the topic-popularity breakdown on the Twitter dataset.
+func (r *Runner) Fig9() (*Fig9Result, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{RecallAt: map[string]map[string]float64{}}
+	for _, name := range []string{"social", "leisure", "technology"} {
+		t, ok := tw.Vocabulary().Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("fig9: vocabulary lacks topic %q", name)
+		}
+		curves, err := eval.RunLinkPrediction(tw.Graph, r.cfg.Protocol, r.coreMethods(tw), []int{10}, t, eval.TopicFilter(t))
+		if err != nil {
+			return nil, fmt.Errorf("fig9 topic %s: %w", name, err)
+		}
+		m := map[string]float64{}
+		for _, c := range curves {
+			m[c.Method] = c.RecallAt(10)
+		}
+		res.Topics = append(res.Topics, name)
+		res.RecallAt[name] = m
+	}
+	return res, nil
+}
+
+// String renders recall@10 per topic per method.
+func (f *Fig9Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s\n", "topic", "Tr", "Katz", "TwitterRank")
+	for _, t := range f.Topics {
+		m := f.RecallAt[t]
+		fmt.Fprintf(&b, "%-12s %8.3f %8.3f %12.3f\n", t, m["Tr"], m["Katz"], m["TwitterRank"])
+	}
+	return b.String()
+}

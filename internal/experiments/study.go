@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/katz"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+	"repro/internal/twitterrank"
+	"repro/internal/userstudy"
+)
+
+// studyMethods builds the three rated methods on the full (unreduced)
+// dataset graph, as the user studies rate live recommendations.
+func (r *Runner) studyMethods(ds *gen.Dataset) ([]ranking.Recommender, error) {
+	eng, err := r.engineFor(ds)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.RecommenderOption
+	if r.cfg.QueryDepth > 0 {
+		opts = append(opts, core.WithDepth(r.cfg.QueryDepth))
+	}
+	tr := core.NewRecommender(eng, opts...)
+	kz, err := katz.New(ds.Graph, r.cfg.Params.Beta, r.cfg.QueryDepth)
+	if err != nil {
+		return nil, err
+	}
+	twr, err := twitterrank.New(twitterrank.InputFromProfiles(ds.Graph), twitterrank.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	return []ranking.Recommender{kz, tr, twr}, nil
+}
+
+// StudyResult wraps the per-method aggregates of one simulated user
+// validation.
+type StudyResult struct {
+	Title   string
+	Topics  []string
+	Results []userstudy.MethodResult
+	Vocab   *topics.Vocabulary
+}
+
+// Fig10 simulates the Twitter user validation: a 54-rater panel grades
+// the top-3 of Katz, Tr and TwitterRank on the topics technology, social
+// and leisure.
+func (r *Runner) Fig10() (*StudyResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	methods, err := r.studyMethods(tw)
+	if err != nil {
+		return nil, err
+	}
+	auth := authority.Compute(tw.Graph)
+	oracle := &userstudy.TopicOracle{G: tw.Graph, Auth: auth, Sim: tw.Sim}
+
+	social := tw.Vocabulary().MustLookup("social")
+	names := []string{"technology", "social", "leisure"}
+	rng := rand.New(rand.NewPCG(r.cfg.Seed, 0xf16))
+	var queries []userstudy.Query
+	for _, name := range names {
+		t := tw.Vocabulary().MustLookup(name)
+		for _, u := range sampleActiveUsers(tw.Graph, rng, 6, 5) {
+			queries = append(queries, userstudy.Query{User: u, Topic: t})
+		}
+	}
+	panel := userstudy.Panel{
+		Raters: 54,
+		Noise:  0.7,
+		Doubt: func(t topics.ID) float64 {
+			// Social posts are hard to tell apart from health/politics;
+			// raters fall back to middle marks (Section 5.3's analysis).
+			if t == social {
+				return 0.65
+			}
+			return 0.15
+		},
+		Seed: r.cfg.Seed,
+	}
+	res := userstudy.Run(panel, oracle, methods, queries, 3, nil)
+	return &StudyResult{Title: "Figure 10 (user validation, Twitter)", Topics: names, Results: res, Vocab: tw.Vocabulary()}, nil
+}
+
+// Table3 simulates the DBLP user validation: 47 researchers rate the
+// top-3 of each method over their own citation profile, with proposed
+// authors capped at 100 citations (in-degree) to avoid obvious picks.
+func (r *Runner) Table3() (*StudyResult, error) {
+	db, err := r.DBLPDataset()
+	if err != nil {
+		return nil, err
+	}
+	methods, err := r.studyMethods(db)
+	if err != nil {
+		return nil, err
+	}
+	oracle := &userstudy.ResearcherOracle{G: db.Graph, Sim: db.Sim}
+
+	rng := rand.New(rand.NewPCG(r.cfg.Seed, 0x7ab1e3))
+	researchers := sampleActiveUsers(db.Graph, rng, 47, 8)
+	var queries []userstudy.Query
+	for _, u := range researchers {
+		// Query on the researcher's primary topic (their DBLP entry).
+		prof := db.Graph.NodeTopics(u).Topics()
+		if len(prof) == 0 {
+			continue
+		}
+		queries = append(queries, userstudy.Query{User: u, Topic: prof[0]})
+	}
+	panel := userstudy.Panel{Raters: 1, Noise: 0.55, Seed: r.cfg.Seed} // each researcher rates his own list
+	accept := func(v graph.NodeID) bool { return db.Graph.InDegree(v) <= 100 }
+	res := userstudy.Run(panel, oracle, methods, queries, 3, accept)
+	return &StudyResult{Title: "Table 3 (user validation, DBLP)", Results: res, Vocab: db.Vocabulary()}, nil
+}
+
+// String renders the per-topic averages (Figure 10) or the three Table 3
+// rows, depending on what was measured.
+func (s *StudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	if len(s.Topics) > 0 {
+		fmt.Fprintf(&b, "%-14s", "topic")
+		for _, m := range s.Results {
+			fmt.Fprintf(&b, "%14s", m.Method)
+		}
+		b.WriteByte('\n')
+		for _, tn := range s.Topics {
+			t := s.Vocab.MustLookup(tn)
+			fmt.Fprintf(&b, "%-14s", tn)
+			for _, m := range s.Results {
+				fmt.Fprintf(&b, "%14.2f", m.AvgByTopic[t])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", "average mark")
+	for _, m := range s.Results {
+		fmt.Fprintf(&b, "%14.2f", m.Avg)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s", "# 4&5 marks")
+	for _, m := range s.Results {
+		fmt.Fprintf(&b, "%14d", m.HighMarks)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s", "best answer")
+	for _, m := range s.Results {
+		fmt.Fprintf(&b, "%13.0f%%", m.BestShare*100)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-14s", "rater kappa")
+	for _, m := range s.Results {
+		fmt.Fprintf(&b, "%14.2f", m.Kappa)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ResultFor returns the aggregate of the named method.
+func (s *StudyResult) ResultFor(method string) (userstudy.MethodResult, bool) {
+	for _, m := range s.Results {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return userstudy.MethodResult{}, false
+}
+
+// sampleActiveUsers draws k distinct users with out-degree ≥ minOut (the
+// study asks for users with enough activity to personalize for).
+func sampleActiveUsers(g *graph.Graph, r *rand.Rand, k, minOut int) []graph.NodeID {
+	var pool []graph.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(graph.NodeID(u)) >= minOut {
+			pool = append(pool, graph.NodeID(u))
+		}
+	}
+	if len(pool) <= k {
+		return pool
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Table2Result reproduces Table 2: datasets topological properties.
+type Table2Result struct {
+	Twitter graph.Stats
+	DBLP    graph.Stats
+}
+
+// Table2 computes the topological properties of both generated datasets.
+func (r *Runner) Table2() (*Table2Result, error) {
+	tw, db, err := r.datasets()
+	if err != nil {
+		return nil, err
+	}
+	return &Table2Result{
+		Twitter: graph.ComputeStats(tw.Graph),
+		DBLP:    graph.ComputeStats(db.Graph),
+	}, nil
+}
+
+// String renders the two-column table of the paper.
+func (t *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %12s\n", "Property", "Twitter", "DBLP")
+	row := func(name string, a, c any) { fmt.Fprintf(&b, "%-24s %12v %12v\n", name, a, c) }
+	row("Total number of nodes", t.Twitter.Nodes, t.DBLP.Nodes)
+	row("Total number of edges", t.Twitter.Edges, t.DBLP.Edges)
+	row("Avg. out-degree", fmt.Sprintf("%.1f", t.Twitter.AvgOut), fmt.Sprintf("%.1f", t.DBLP.AvgOut))
+	row("Avg. in-degree", fmt.Sprintf("%.1f", t.Twitter.AvgIn), fmt.Sprintf("%.1f", t.DBLP.AvgIn))
+	row("max in-degree", t.Twitter.MaxIn, t.DBLP.MaxIn)
+	row("max out-degree", t.Twitter.MaxOut, t.DBLP.MaxOut)
+	return b.String()
+}
+
+// Fig3Result reproduces Figure 3: the distribution of edges per topic.
+type Fig3Result struct {
+	Names  []string
+	Counts []int // same order as Names, descending count
+}
+
+// Fig3 counts labeled edges per topic on the Twitter dataset.
+func (r *Runner) Fig3() (*Fig3Result, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	counts := graph.EdgeTopicDistribution(tw.Graph)
+	res := &Fig3Result{
+		Names:  tw.Vocabulary().Names(),
+		Counts: counts,
+	}
+	// Descending by count, the way the figure is drawn.
+	idx := make([]int, len(counts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return counts[idx[a]] > counts[idx[b]] })
+	names := make([]string, len(idx))
+	cs := make([]int, len(idx))
+	for i, j := range idx {
+		names[i], cs[i] = res.Names[j], counts[j]
+	}
+	res.Names, res.Counts = names, cs
+	return res, nil
+}
+
+// Skew returns the max/min edge-count ratio, a one-number summary of the
+// bias the figure shows.
+func (f *Fig3Result) Skew() float64 {
+	if len(f.Counts) == 0 || f.Counts[len(f.Counts)-1] == 0 {
+		return 0
+	}
+	return float64(f.Counts[0]) / float64(f.Counts[len(f.Counts)-1])
+}
+
+// String renders a textual bar chart.
+func (f *Fig3Result) String() string {
+	var b strings.Builder
+	max := 1
+	if len(f.Counts) > 0 {
+		max = f.Counts[0]
+	}
+	for i, n := range f.Names {
+		bars := f.Counts[i] * 50 / max
+		fmt.Fprintf(&b, "%-14s %9d %s\n", n, f.Counts[i], strings.Repeat("#", bars))
+	}
+	fmt.Fprintf(&b, "skew (max/min): %.1fx\n", f.Skew())
+	return b.String()
+}

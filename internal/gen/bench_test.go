@@ -1,0 +1,29 @@
+package gen
+
+import "testing"
+
+func BenchmarkTwitter10k(b *testing.B) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 10000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		ds, err := Twitter(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ds.Graph.NumEdges()), "edges")
+	}
+}
+
+func BenchmarkDBLP10k(b *testing.B) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 10000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		ds, err := DBLP(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ds.Graph.NumEdges()), "edges")
+	}
+}

@@ -1,0 +1,256 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTwitterDeterministic(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 500
+	a, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.Graph.NumEdges(), b.Graph.NumEdges())
+	}
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	cfg.Seed = 99
+	c, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph.NumEdges() == a.Graph.NumEdges() && equalEdges(c.Graph.Edges(), ea) {
+		t.Error("different seeds should give different graphs")
+	}
+}
+
+func equalEdges(a, b []graph.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTwitterShape(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 2000
+	ds, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(ds.Graph)
+	if st.Nodes != 2000 {
+		t.Fatalf("nodes = %d", st.Nodes)
+	}
+	// Mean degree within a factor 2 of the target.
+	if st.AvgOut < cfg.AvgOut/2 || st.AvgOut > cfg.AvgOut*2 {
+		t.Errorf("avg out = %.1f, target %.1f", st.AvgOut, cfg.AvgOut)
+	}
+	// Heavy in-degree tail: the most-followed account dwarfs the mean
+	// (Table 2's max in-degree is >5000× the average).
+	if float64(st.MaxIn) < 8*st.AvgIn {
+		t.Errorf("in-degree tail too light: max %d vs avg %.1f", st.MaxIn, st.AvgIn)
+	}
+	// Every edge labeled.
+	if st.LabeledEdge != st.Edges {
+		t.Errorf("only %d of %d edges labeled", st.LabeledEdge, st.Edges)
+	}
+	// Interests cover every node.
+	for u, s := range ds.Interests {
+		if s.IsEmpty() {
+			t.Fatalf("node %d has no interests", u)
+		}
+	}
+}
+
+func TestTwitterTopicBias(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 3000
+	ds, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := graph.EdgeTopicDistribution(ds.Graph)
+	v := ds.Vocabulary()
+	tech := dist[v.MustLookup("technology")]
+	social := dist[v.MustLookup("social")]
+	if tech < 5*social {
+		t.Errorf("topic bias too weak: tech %d vs social %d (Figure 3 is strongly skewed)", tech, social)
+	}
+}
+
+func TestTwitterEdgeLabelsFollowRule(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 400
+	ds, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, lbls := g.Out(graph.NodeID(u))
+		for i, v := range dsts {
+			lbl := lbls[i]
+			if lbl.IsEmpty() {
+				t.Fatalf("edge %d→%d unlabeled", u, v)
+			}
+			inter := ds.Interests[u].Intersect(g.NodeTopics(v))
+			if !inter.IsEmpty() && lbl != inter {
+				t.Fatalf("edge %d→%d label %v, want interest∩publish %v", u, v, lbl, inter)
+			}
+			if inter.IsEmpty() && lbl.Intersect(g.NodeTopics(v)).IsEmpty() {
+				t.Fatalf("fallback label %v not from publisher profile %v", lbl, g.NodeTopics(v))
+			}
+		}
+	}
+}
+
+func TestTwitterErrors(t *testing.T) {
+	if _, err := Twitter(TwitterConfig{Nodes: 1}); err == nil {
+		t.Error("too-small graph must error")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 2000
+	ds, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(ds.Graph)
+	if st.Nodes != 2000 {
+		t.Fatalf("authors = %d", st.Nodes)
+	}
+	if st.LabeledEdge != st.Edges {
+		t.Errorf("only %d of %d citations labeled", st.LabeledEdge, st.Edges)
+	}
+	// DBLP's popular tail is flatter than Twitter's: max in-degree stays
+	// within ~2% of the author count (paper: 9897 of 525k).
+	if float64(st.MaxIn) > 0.08*float64(st.Nodes) {
+		t.Errorf("DBLP in-degree tail too heavy: max %d of %d", st.MaxIn, st.Nodes)
+	}
+	if _, err := DBLP(DBLPConfig{Authors: 0}); err == nil {
+		t.Error("too-small graph must error")
+	}
+}
+
+func TestDBLPSelfCitationClusters(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 1500
+	ds, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	// Count mutual (reciprocated) citation pairs; group cliques must make
+	// them common, unlike a pure random digraph.
+	mutual := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, _ := g.Out(graph.NodeID(u))
+		for _, v := range dsts {
+			if v > graph.NodeID(u) && g.HasEdge(v, graph.NodeID(u)) {
+				mutual++
+			}
+		}
+	}
+	if mutual < g.NumNodes()/4 {
+		t.Errorf("too few mutual-citation pairs (%d) for the self-citation clusters", mutual)
+	}
+}
+
+func TestRandomDataset(t *testing.T) {
+	ds := Random(RandomConfig{Nodes: 30, Edges: 2000, Seed: 5}) // over-asking caps at n(n-1)
+	if ds.Graph.NumEdges() != 30*29 {
+		t.Errorf("edge cap: got %d, want %d", ds.Graph.NumEdges(), 30*29)
+	}
+	ds = RandomWith(20, 50, 1)
+	if ds.Graph.NumNodes() != 20 || ds.Graph.NumEdges() != 50 {
+		t.Errorf("random size = (%d,%d)", ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	}
+	for u := 0; u < 20; u++ {
+		if ds.Graph.NodeTopics(graph.NodeID(u)).IsEmpty() {
+			t.Fatal("random dataset must label every node")
+		}
+	}
+}
+
+func TestTwitterClusteringAndReciprocity(t *testing.T) {
+	cfg := DefaultTwitterConfig()
+	cfg.Nodes = 2000
+	ds, err := Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Circles and triadic closure must produce real clustering — a uniform
+	// random digraph of this density sits near avg-degree/n ≈ 0.01.
+	if cc := graph.ClusteringCoefficient(ds.Graph, 400); cc < 0.05 {
+		t.Errorf("clustering coefficient %.3f too low for a social graph", cc)
+	}
+	// Reciprocity should land near the configured 0.12 (within noise).
+	if rec := graph.Reciprocity(ds.Graph); rec < 0.05 || rec > 0.4 {
+		t.Errorf("reciprocity %.3f outside the plausible band", rec)
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 600
+	a, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalEdges(a.Graph.Edges(), b.Graph.Edges()) {
+		t.Fatal("same seed must reproduce the citation graph")
+	}
+}
+
+func TestDBLPCitationCopying(t *testing.T) {
+	// Reference copying must produce 2-hop support for a large share of
+	// citations: if u cites v, u often also cites someone who cites v.
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 1200
+	ds, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.Graph
+	supported, checked := 0, 0
+	for u := 0; u < g.NumNodes() && checked < 3000; u++ {
+		dsts, _ := g.Out(graph.NodeID(u))
+		for _, v := range dsts {
+			checked++
+			// Does u cite any w that cites v?
+			for _, w := range dsts {
+				if w != v && g.HasEdge(w, v) {
+					supported++
+					break
+				}
+			}
+		}
+	}
+	if frac := float64(supported) / float64(checked); frac < 0.2 {
+		t.Errorf("only %.2f of citations have 2-hop support; link prediction needs more", frac)
+	}
+}

@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// RandomConfig parameterizes small uniform random graphs used by tests and
+// property checks.
+type RandomConfig struct {
+	Nodes    int
+	Edges    int
+	Seed     uint64
+	Taxonomy *topics.Taxonomy
+	// MaxLabelTopics caps topics per edge label (default 3).
+	MaxLabelTopics int
+}
+
+// Random generates a uniform random labeled digraph: Edges distinct
+// ordered pairs, each labeled with 1..MaxLabelTopics uniform topics; node
+// profiles are the union of labels on incoming edges plus one random
+// topic.
+func Random(cfg RandomConfig) *Dataset {
+	tax := cfg.Taxonomy
+	if tax == nil {
+		tax = topics.WebTaxonomy()
+	}
+	vocab := tax.Vocabulary()
+	if cfg.MaxLabelTopics <= 0 {
+		cfg.MaxLabelTopics = 3
+	}
+	r := rng(cfg.Seed)
+	b := graph.NewBuilder(vocab, cfg.Nodes)
+	interests := make([]topics.Set, cfg.Nodes)
+	seen := make(map[graph.EdgeKey]bool, cfg.Edges)
+	maxEdges := cfg.Nodes * (cfg.Nodes - 1)
+	if cfg.Edges > maxEdges {
+		cfg.Edges = maxEdges
+	}
+	for added := 0; added < cfg.Edges; {
+		u := graph.NodeID(r.IntN(cfg.Nodes))
+		v := graph.NodeID(r.IntN(cfg.Nodes))
+		if u == v || seen[graph.KeyOf(u, v)] {
+			continue
+		}
+		seen[graph.KeyOf(u, v)] = true
+		var lbl topics.Set
+		for i := 0; i < 1+r.IntN(cfg.MaxLabelTopics); i++ {
+			lbl = lbl.Add(topics.ID(r.IntN(vocab.Len())))
+		}
+		b.AddEdge(u, v, lbl)
+		b.SetNodeTopics(v, b.NodeTopics(v).Union(lbl))
+		interests[u] = interests[u].Union(lbl)
+		added++
+	}
+	for u := 0; u < cfg.Nodes; u++ {
+		id := graph.NodeID(u)
+		b.SetNodeTopics(id, b.NodeTopics(id).Add(topics.ID(r.IntN(vocab.Len()))))
+		interests[u] = interests[u].Add(topics.ID(r.IntN(vocab.Len())))
+	}
+	return &Dataset{
+		Graph:     b.MustFreeze(),
+		Taxonomy:  tax,
+		Sim:       tax.SimMatrix(),
+		Interests: interests,
+		Name:      "random",
+	}
+}
+
+// RandomWith returns a Random dataset built from an existing *rand.Rand
+// seed value, convenience for table-driven property tests.
+func RandomWith(nodes, edges int, seed uint64) *Dataset {
+	return Random(RandomConfig{Nodes: nodes, Edges: edges, Seed: seed})
+}

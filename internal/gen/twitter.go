@@ -1,0 +1,243 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// TwitterConfig parameterizes the synthetic follower graph.
+type TwitterConfig struct {
+	// Nodes is the number of accounts.
+	Nodes int
+	// AvgOut is the target mean out-degree (the paper's crawl: 57.8; the
+	// experiment default uses a scaled-down graph with similar shape).
+	AvgOut float64
+	// Celebrities is the number of seed accounts given a strong initial
+	// popularity advantage; they become the extreme in-degree tail.
+	Celebrities int
+	// TopicBias is the Zipf exponent of topic popularity (Figure 3 skew);
+	// 1.0–1.4 reproduces the paper's biased distribution.
+	TopicBias float64
+	// PrefProb is the probability that a follow target is drawn by
+	// preferential attachment; the rest are drawn from the follower's
+	// topic communities (homophily).
+	PrefProb float64
+	// TriadicProb is the probability that a follow target is a
+	// followee-of-a-followee (triadic closure). Real follow graphs are
+	// heavily clustered; the link-prediction evaluation relies on the
+	// removed edge being recoverable through such 2-hop paths.
+	TriadicProb float64
+	// CircleProb is the probability that a follow stays inside one of
+	// the user's topical circles (tight communities of CircleSize users
+	// sharing a primary interest). Circles give pairs of connected users
+	// many common neighbors, the dominant structure behind link
+	// prediction on real follow graphs.
+	CircleProb float64
+	// CircleSize is the community size.
+	CircleSize int
+	// Reciprocity is the probability that a follow edge is reciprocated.
+	Reciprocity float64
+	// Seed makes the dataset reproducible.
+	Seed uint64
+	// Taxonomy supplies the vocabulary; nil uses the default web taxonomy.
+	Taxonomy *topics.Taxonomy
+}
+
+// DefaultTwitterConfig returns a laptop-scale configuration whose shape
+// follows Table 2 (the full crawl scaled down ~40×).
+func DefaultTwitterConfig() TwitterConfig {
+	return TwitterConfig{
+		Nodes:       20000,
+		AvgOut:      25,
+		Celebrities: 40,
+		TopicBias:   1.2,
+		PrefProb:    0.15,
+		TriadicProb: 0.25,
+		CircleProb:  0.45,
+		CircleSize:  20,
+		Reciprocity: 0.12,
+		Seed:        1,
+	}
+}
+
+// Dataset bundles a generated labeled graph with its taxonomy and the
+// per-user interest profiles (the follower profiles of Section 5.1, which
+// the labeling rule and the user-study simulation both use).
+type Dataset struct {
+	Graph     *graph.Graph
+	Taxonomy  *topics.Taxonomy
+	Sim       *topics.SimMatrix
+	Interests []topics.Set // follower profile per node
+	Name      string
+}
+
+// Vocabulary returns the dataset's topic vocabulary.
+func (d *Dataset) Vocabulary() *topics.Vocabulary { return d.Graph.Vocabulary() }
+
+// Twitter generates the synthetic follower graph.
+func Twitter(cfg TwitterConfig) (*Dataset, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("gen: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	tax := cfg.Taxonomy
+	if tax == nil {
+		tax = topics.WebTaxonomy()
+	}
+	vocab := tax.Vocabulary()
+	r := rng(cfg.Seed)
+	pop := topics.Popularity(vocab, cfg.TopicBias)
+
+	// Publisher profiles (labelN) and interest profiles per account.
+	publish := make([]topics.Set, cfg.Nodes)
+	interest := make([]topics.Set, cfg.Nodes)
+	for u := range publish {
+		if u < cfg.Celebrities {
+			// Large accounts publish on many topics (the paper: "most of
+			// large accounts are labeled with several topics").
+			publish[u] = sampleTopics(r, pop, 4+r.IntN(5)) // 4–8 topics
+		} else {
+			publish[u] = sampleTopics(r, pop, 1+r.IntN(3)) // 1–3 topics
+		}
+		interest[u] = sampleTopics(r, pop, 2+r.IntN(4)) // 2–5 interests
+	}
+
+	// Topic buckets: who publishes on each topic (for homophilous picks).
+	buckets := make([][]graph.NodeID, vocab.Len())
+	for u := 0; u < cfg.Nodes; u++ {
+		publish[u].ForEach(func(t topics.ID) {
+			buckets[t] = append(buckets[t], graph.NodeID(u))
+		})
+	}
+
+	b := graph.NewBuilder(vocab, cfg.Nodes)
+	for u := 0; u < cfg.Nodes; u++ {
+		b.SetNodeTopics(graph.NodeID(u), publish[u])
+	}
+
+	// Preferential-attachment ballot: each node starts with one ticket;
+	// celebrities with many; every received follow adds a ticket.
+	ballot := make([]graph.NodeID, 0, cfg.Nodes*(int(cfg.AvgOut)+2))
+	for u := 0; u < cfg.Nodes; u++ {
+		ballot = append(ballot, graph.NodeID(u))
+	}
+	// Celebrities get a heavy initial advantage; preferential attachment
+	// then amplifies it into the extreme in-degree tail the real Twitter
+	// crawl exhibits (max in-degree ≈ 16% of the node count in Table 2).
+	celebBoost := cfg.Nodes / 8
+	if celebBoost < 20 {
+		celebBoost = 20
+	}
+	for c := 0; c < cfg.Celebrities && c < cfg.Nodes; c++ {
+		boost := celebBoost / (1 + c) // a steep within-celebrity hierarchy
+		if boost < 5 {
+			boost = 5
+		}
+		for i := 0; i < boost; i++ {
+			ballot = append(ballot, graph.NodeID(c))
+		}
+	}
+
+	seen := make(map[graph.EdgeKey]bool, cfg.Nodes*int(cfg.AvgOut))
+	addFollow := func(u, v graph.NodeID) bool {
+		if u == v || seen[graph.KeyOf(u, v)] {
+			return false
+		}
+		seen[graph.KeyOf(u, v)] = true
+		b.AddEdge(u, v, edgeLabel(r, interest[u], publish[v]))
+		ballot = append(ballot, v)
+		return true
+	}
+
+	// Topical circles: users grouped by a primary interest into tight
+	// communities. members[c] lists circle c's members; circleOf[u] is
+	// u's circle.
+	circleOf := make([]int, cfg.Nodes)
+	var members [][]graph.NodeID
+	if cfg.CircleSize > 1 {
+		byTopic := make([][]graph.NodeID, vocab.Len())
+		for u := 0; u < cfg.Nodes; u++ {
+			ts := interest[u].Topics()
+			t := ts[r.IntN(len(ts))]
+			byTopic[t] = append(byTopic[t], graph.NodeID(u))
+		}
+		for _, pool := range byTopic {
+			for i := 0; i < len(pool); i += cfg.CircleSize {
+				end := i + cfg.CircleSize
+				if end > len(pool) {
+					end = len(pool)
+				}
+				c := len(members)
+				members = append(members, pool[i:end])
+				for _, u := range pool[i:end] {
+					circleOf[u] = c
+				}
+			}
+		}
+	}
+
+	// followees[u] tracks u's current followees for triadic sampling.
+	followees := make([][]graph.NodeID, cfg.Nodes)
+	for u := 0; u < cfg.Nodes; u++ {
+		uid := graph.NodeID(u)
+		d := outDegree(r, cfg.AvgOut, cfg.Nodes/2)
+		myTopics := interest[u].Topics()
+		for e, tries := 0, 0; e < d && tries < 8*d; tries++ {
+			var v graph.NodeID
+			x := r.Float64()
+			switch {
+			case x < cfg.CircleProb && cfg.CircleSize > 1:
+				circ := members[circleOf[u]]
+				if len(circ) < 2 {
+					continue
+				}
+				v = circ[r.IntN(len(circ))]
+			case x < cfg.CircleProb+cfg.TriadicProb && len(followees[u]) > 0:
+				// Follow a followee of a followee. Intermediates are
+				// drawn from the earliest follows (strong ties), which
+				// makes 2-hop neighborhoods overlap heavily and produces
+				// the many short redundant paths real follow graphs have.
+				strong := len(followees[u])
+				if strong > 8 {
+					strong = 8
+				}
+				w := followees[u][r.IntN(strong)]
+				fw := followees[w]
+				if len(fw) == 0 {
+					continue
+				}
+				v = fw[r.IntN(len(fw))]
+			case x < cfg.CircleProb+cfg.TriadicProb+cfg.PrefProb || len(myTopics) == 0:
+				v = ballot[r.IntN(len(ballot))]
+			default:
+				bucket := buckets[myTopics[r.IntN(len(myTopics))]]
+				if len(bucket) == 0 {
+					continue
+				}
+				v = bucket[r.IntN(len(bucket))]
+			}
+			if addFollow(uid, v) {
+				followees[u] = append(followees[u], v)
+				e++
+				if r.Float64() < cfg.Reciprocity {
+					if addFollow(v, uid) {
+						followees[v] = append(followees[v], uid)
+					}
+				}
+			}
+		}
+	}
+
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Graph:     g,
+		Taxonomy:  tax,
+		Sim:       tax.SimMatrix(),
+		Interests: interest,
+		Name:      "twitter-synthetic",
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package graph implements the labeled directed social graph of the paper:
+// G = (N, E, T, labelN, labelE). Nodes are user accounts; an edge u → v
+// means "u follows v" (u receives v's posts) and carries the set of topics
+// describing u's interest in v (labelE). Each node carries the set of
+// topics it publishes on (labelN, the publisher profile).
+//
+// The graph is built with a Builder and then frozen into a compact CSR
+// (compressed sparse row) form with both out-adjacency (followees) and
+// in-adjacency (followers), each with a parallel array of edge topic sets.
+// Frozen graphs are immutable and safe for concurrent readers; evaluation
+// code derives modified graphs (e.g. with test edges removed) via
+// WithoutEdges.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topics"
+)
+
+// NodeID identifies a node. IDs are dense: a graph with n nodes uses ids
+// 0..n-1.
+type NodeID uint32
+
+// Edge is a follow relationship with its topic label.
+type Edge struct {
+	Src, Dst NodeID
+	Label    topics.Set
+}
+
+// EdgeKey packs an (src, dst) pair for set membership.
+type EdgeKey uint64
+
+// KeyOf returns the EdgeKey of (u, v).
+func KeyOf(u, v NodeID) EdgeKey { return EdgeKey(u)<<32 | EdgeKey(v) }
+
+// Graph is a frozen labeled directed graph.
+type Graph struct {
+	vocab *topics.Vocabulary
+
+	outStart []uint32 // len n+1; out-edges of u are [outStart[u], outStart[u+1])
+	outDst   []NodeID
+	outLbl   []topics.Set
+
+	inStart []uint32 // len n+1; in-edges of v are [inStart[v], inStart[v+1])
+	inSrc   []NodeID
+	inLbl   []topics.Set
+
+	nodeTopics []topics.Set // labelN: topics each node publishes on
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodeTopics) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.outDst) }
+
+// Vocabulary returns the topic vocabulary the labels refer to.
+func (g *Graph) Vocabulary() *topics.Vocabulary { return g.vocab }
+
+// NodeTopics returns labelN(u): the topics u publishes on.
+func (g *Graph) NodeTopics(u NodeID) topics.Set { return g.nodeTopics[u] }
+
+// OutDegree returns the number of accounts u follows.
+func (g *Graph) OutDegree(u NodeID) int {
+	return int(g.outStart[u+1] - g.outStart[u])
+}
+
+// InDegree returns the number of followers of v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inStart[v+1] - g.inStart[v])
+}
+
+// Out returns the followees of u and the label of each follow edge. The
+// returned slices alias internal storage and must not be modified; dsts are
+// sorted ascending.
+func (g *Graph) Out(u NodeID) ([]NodeID, []topics.Set) {
+	lo, hi := g.outStart[u], g.outStart[u+1]
+	return g.outDst[lo:hi], g.outLbl[lo:hi]
+}
+
+// In returns the followers of v and the label of each follow edge. The
+// returned slices alias internal storage and must not be modified; srcs are
+// sorted ascending.
+func (g *Graph) In(v NodeID) ([]NodeID, []topics.Set) {
+	lo, hi := g.inStart[v], g.inStart[v+1]
+	return g.inSrc[lo:hi], g.inLbl[lo:hi]
+}
+
+// EdgeLabel returns the label of edge (u, v) and whether the edge exists.
+func (g *Graph) EdgeLabel(u, v NodeID) (topics.Set, bool) {
+	dst, lbl := g.Out(u)
+	i := sort.Search(len(dst), func(i int) bool { return dst[i] >= v })
+	if i < len(dst) && dst[i] == v {
+		return lbl[i], true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether u follows v.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.EdgeLabel(u, v)
+	return ok
+}
+
+// Edges returns all edges in (src, dst) order. The slice is freshly
+// allocated.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := 0; u < g.NumNodes(); u++ {
+		dst, lbl := g.Out(NodeID(u))
+		for i, v := range dst {
+			out = append(out, Edge{Src: NodeID(u), Dst: v, Label: lbl[i]})
+		}
+	}
+	return out
+}
+
+// FollowerTopicCounts returns, for node u, the number of followers per
+// topic: |Γu(t)| for every t (the quantity the authority score is built
+// from). The caller provides the destination slice, which must have the
+// vocabulary's length; it is zeroed first.
+func (g *Graph) FollowerTopicCounts(u NodeID, counts []uint32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	_, lbl := g.In(u)
+	for _, s := range lbl {
+		s.ForEach(func(t topics.ID) { counts[t]++ })
+	}
+}
+
+// WithoutEdges returns a new graph with the listed edges removed. Node
+// topics are preserved. Unknown edges are ignored. This is how evaluation
+// removes the test set T from the graph.
+func (g *Graph) WithoutEdges(removed []Edge) *Graph {
+	drop := make(map[EdgeKey]bool, len(removed))
+	for _, e := range removed {
+		drop[KeyOf(e.Src, e.Dst)] = true
+	}
+	b := NewBuilder(g.vocab, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		b.SetNodeTopics(NodeID(u), g.nodeTopics[u])
+		dst, lbl := g.Out(NodeID(u))
+		for i, v := range dst {
+			if !drop[KeyOf(NodeID(u), v)] {
+				b.AddEdge(NodeID(u), v, lbl[i])
+			}
+		}
+	}
+	ng, err := b.Freeze()
+	if err != nil {
+		// Cannot happen: edges come from a frozen graph.
+		panic(fmt.Sprintf("graph: WithoutEdges rebuild failed: %v", err))
+	}
+	return ng
+}

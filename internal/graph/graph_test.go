@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/topics"
+)
+
+func vocab2(t *testing.T) *topics.Vocabulary {
+	t.Helper()
+	return topics.MustVocabulary([]string{"x", "y", "z"})
+}
+
+func build(t *testing.T, n int, edges []Edge) *Graph {
+	t.Helper()
+	b := NewBuilder(vocab2(t), n)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFreezeBasics(t *testing.T) {
+	g := build(t, 4, []Edge{
+		{1, 0, topics.NewSet(0)},
+		{0, 2, topics.NewSet(1)},
+		{0, 1, topics.NewSet(0, 1)},
+		{3, 0, topics.NewSet(2)},
+	})
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("size = (%d,%d), want (4,4)", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 2 {
+		t.Errorf("degrees of 0 = (%d,%d), want (2,2)", g.OutDegree(0), g.InDegree(0))
+	}
+	dst, lbl := g.Out(0)
+	if len(dst) != 2 || dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("Out(0) dsts = %v, want [1 2] (sorted)", dst)
+	}
+	if lbl[0] != topics.NewSet(0, 1) {
+		t.Errorf("label of 0→1 = %v", lbl[0])
+	}
+	src, _ := g.In(0)
+	if len(src) != 2 || src[0] != 1 || src[1] != 3 {
+		t.Fatalf("In(0) srcs = %v, want [1 3] (sorted)", src)
+	}
+}
+
+func TestFreezeMergesDuplicates(t *testing.T) {
+	g := build(t, 3, []Edge{
+		{0, 1, topics.NewSet(0)},
+		{0, 1, topics.NewSet(2)},
+	})
+	if g.NumEdges() != 1 {
+		t.Fatalf("duplicates must merge: %d edges", g.NumEdges())
+	}
+	lbl, ok := g.EdgeLabel(0, 1)
+	if !ok || lbl != topics.NewSet(0, 2) {
+		t.Errorf("merged label = %v, want {0,2}", lbl)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	b := NewBuilder(vocab2(t), 2)
+	b.AddEdge(1, 1, topics.NewSet(0))
+	if b.NumEdges() != 0 {
+		t.Error("self-loop must be ignored")
+	}
+}
+
+func TestFreezeErrors(t *testing.T) {
+	if _, err := NewBuilder(vocab2(t), 0).Freeze(); err == nil {
+		t.Error("empty graph must not freeze")
+	}
+	b := NewBuilder(vocab2(t), 2)
+	b.edges = append(b.edges, Edge{Src: 0, Dst: 9}) // bypass AddEdge bounds
+	if _, err := b.Freeze(); err == nil {
+		t.Error("out-of-range edge must fail Freeze")
+	}
+}
+
+func TestEdgeLabelAndHasEdge(t *testing.T) {
+	g := build(t, 3, []Edge{{0, 2, topics.NewSet(1)}})
+	if !g.HasEdge(0, 2) || g.HasEdge(2, 0) || g.HasEdge(0, 1) {
+		t.Error("HasEdge wrong")
+	}
+	if lbl, ok := g.EdgeLabel(0, 2); !ok || !lbl.Has(1) {
+		t.Error("EdgeLabel wrong")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{
+		{0, 1, topics.NewSet(0)},
+		{1, 2, topics.NewSet(1)},
+		{2, 0, topics.NewSet(2)},
+	}
+	g := build(t, 3, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges = %d, want %d", len(out), len(in))
+	}
+	for _, e := range out {
+		lbl, ok := g.EdgeLabel(e.Src, e.Dst)
+		if !ok || lbl != e.Label {
+			t.Errorf("edge %v inconsistent", e)
+		}
+	}
+}
+
+func TestWithoutEdges(t *testing.T) {
+	g := build(t, 4, []Edge{
+		{0, 1, topics.NewSet(0)},
+		{0, 2, topics.NewSet(1)},
+		{1, 2, topics.NewSet(2)},
+	})
+	g2 := g.WithoutEdges([]Edge{{Src: 0, Dst: 2}, {Src: 3, Dst: 3}}) // second is unknown
+	if g2.NumEdges() != 2 {
+		t.Fatalf("reduced graph has %d edges, want 2", g2.NumEdges())
+	}
+	if g2.HasEdge(0, 2) {
+		t.Error("removed edge still present")
+	}
+	if !g2.HasEdge(0, 1) || !g2.HasEdge(1, 2) {
+		t.Error("other edges lost")
+	}
+	// Original untouched.
+	if !g.HasEdge(0, 2) {
+		t.Error("WithoutEdges must not mutate the original")
+	}
+	// Node topics preserved.
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.NodeTopics(NodeID(u)) != g2.NodeTopics(NodeID(u)) {
+			t.Error("node topics lost")
+		}
+	}
+}
+
+func TestFollowerTopicCounts(t *testing.T) {
+	g := build(t, 4, []Edge{
+		{1, 0, topics.NewSet(0, 1)},
+		{2, 0, topics.NewSet(0)},
+		{3, 0, topics.NewSet(2)},
+	})
+	counts := make([]uint32, 3)
+	g.FollowerTopicCounts(0, counts)
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("counts = %v, want [2 1 1]", counts)
+	}
+	g.FollowerTopicCounts(1, counts) // must zero the slice
+	if counts[0] != 0 || counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("counts not reset: %v", counts)
+	}
+}
+
+func TestBuilderClone(t *testing.T) {
+	b := NewBuilder(vocab2(t), 2)
+	b.AddEdge(0, 1, topics.NewSet(0))
+	c := b.Clone()
+	c.AddEdge(1, 0, topics.NewSet(1))
+	if b.NumEdges() != 1 || c.NumEdges() != 2 {
+		t.Errorf("clone shares state: b=%d c=%d", b.NumEdges(), c.NumEdges())
+	}
+}
+
+func TestAddNodes(t *testing.T) {
+	b := NewBuilder(vocab2(t), 1)
+	first := b.AddNodes(3)
+	if first != 1 || b.NumNodes() != 4 {
+		t.Errorf("AddNodes: first=%d n=%d", first, b.NumNodes())
+	}
+}

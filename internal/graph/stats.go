@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topics"
+)
+
+// Stats summarizes the topological properties reported in Table 2 of the
+// paper for each dataset.
+type Stats struct {
+	Nodes       int
+	Edges       int
+	AvgOut      float64 // mean out-degree over nodes with at least one followee
+	AvgIn       float64 // mean in-degree over nodes with at least one follower
+	MaxOut      int
+	MaxIn       int
+	MaxOutNode  NodeID
+	MaxInNode   NodeID
+	ActiveOut   int // nodes with out-degree > 0
+	ActiveIn    int // nodes with in-degree > 0
+	LabeledEdge int // edges with a non-empty label
+}
+
+// ComputeStats scans the graph once and fills a Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	var sumOut, sumIn int
+	for u := 0; u < g.NumNodes(); u++ {
+		id := NodeID(u)
+		if d := g.OutDegree(id); d > 0 {
+			sumOut += d
+			s.ActiveOut++
+			if d > s.MaxOut {
+				s.MaxOut, s.MaxOutNode = d, id
+			}
+		}
+		if d := g.InDegree(id); d > 0 {
+			sumIn += d
+			s.ActiveIn++
+			if d > s.MaxIn {
+				s.MaxIn, s.MaxInNode = d, id
+			}
+		}
+		_, lbl := g.Out(id)
+		for _, l := range lbl {
+			if !l.IsEmpty() {
+				s.LabeledEdge++
+			}
+		}
+	}
+	if s.ActiveOut > 0 {
+		s.AvgOut = float64(sumOut) / float64(s.ActiveOut)
+	}
+	if s.ActiveIn > 0 {
+		s.AvgIn = float64(sumIn) / float64(s.ActiveIn)
+	}
+	return s
+}
+
+// String renders the stats as the rows of Table 2.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Total number of nodes  %d\n", s.Nodes)
+	fmt.Fprintf(&b, "Total number of edges  %d\n", s.Edges)
+	fmt.Fprintf(&b, "Avg. out-degree        %.1f\n", s.AvgOut)
+	fmt.Fprintf(&b, "Avg. in-degree         %.1f\n", s.AvgIn)
+	fmt.Fprintf(&b, "max in-degree          %d\n", s.MaxIn)
+	fmt.Fprintf(&b, "max out-degree         %d\n", s.MaxOut)
+	return b.String()
+}
+
+// Reciprocity returns the fraction of edges whose reverse edge also
+// exists. Follow graphs sit around 0.2; citation graphs lower except for
+// the mutual-citation clusters of co-author groups.
+func Reciprocity(g *Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	mutual := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, _ := g.Out(NodeID(u))
+		for _, v := range dsts {
+			if g.HasEdge(v, NodeID(u)) {
+				mutual++
+			}
+		}
+	}
+	return float64(mutual) / float64(g.NumEdges())
+}
+
+// ClusteringCoefficient estimates the mean local clustering coefficient
+// over a sample of nodes (treating the graph as undirected): the
+// probability that two neighbors of a node are themselves connected. High
+// clustering is what makes removed follow edges recoverable by
+// common-neighbor paths; the synthetic generators are validated against
+// it. sample <= 0 scans every node.
+func ClusteringCoefficient(g *Graph, sample int) float64 {
+	n := g.NumNodes()
+	step := 1
+	if sample > 0 && n > sample {
+		step = n / sample
+	}
+	sum, counted := 0.0, 0
+	for u := 0; u < n; u += step {
+		nbrs := undirectedNeighbors(g, NodeID(u))
+		if len(nbrs) < 2 {
+			continue
+		}
+		// Cap the per-node cost on hubs.
+		if len(nbrs) > 64 {
+			nbrs = nbrs[:64]
+		}
+		links := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) || g.HasEdge(nbrs[j], nbrs[i]) {
+					links++
+				}
+			}
+		}
+		pairs := len(nbrs) * (len(nbrs) - 1) / 2
+		sum += float64(links) / float64(pairs)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// undirectedNeighbors returns the distinct nodes adjacent to u in either
+// direction.
+func undirectedNeighbors(g *Graph, u NodeID) []NodeID {
+	dsts, _ := g.Out(u)
+	srcs, _ := g.In(u)
+	seen := make(map[NodeID]bool, len(dsts)+len(srcs))
+	out := make([]NodeID, 0, len(dsts)+len(srcs))
+	for _, v := range dsts {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range srcs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EdgeTopicDistribution counts, per topic, how many edges carry that topic
+// in their label (the quantity plotted in Figure 3). The returned slice is
+// indexed by topic id.
+func EdgeTopicDistribution(g *Graph) []int {
+	counts := make([]int, g.Vocabulary().Len())
+	for u := 0; u < g.NumNodes(); u++ {
+		_, lbl := g.Out(NodeID(u))
+		for _, s := range lbl {
+			s.ForEach(func(t topics.ID) { counts[t]++ })
+		}
+	}
+	return counts
+}
+
+// InDegreePercentileCutoffs returns the in-degree thresholds delimiting the
+// bottom p-fraction and top p-fraction of nodes by in-degree (used by the
+// Figure 8 popularity analysis: top-10% most followed vs bottom-10% least
+// followed). Only nodes with at least one follower participate, matching
+// the paper's "less followed accounts".
+func InDegreePercentileCutoffs(g *Graph, p float64) (low, high int) {
+	degs := make([]int, 0, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.InDegree(NodeID(u)); d > 0 {
+			degs = append(degs, d)
+		}
+	}
+	if len(degs) == 0 {
+		return 0, 0
+	}
+	sort.Ints(degs)
+	k := int(p * float64(len(degs)))
+	if k < 1 {
+		k = 1
+	}
+	li := k - 1 // the bottom band holds the k smallest
+	hi := len(degs) - k
+	if hi < 0 {
+		hi = 0
+	}
+	return degs[li], degs[hi]
+}

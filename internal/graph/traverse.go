@@ -1,0 +1,93 @@
+package graph
+
+import "repro/internal/topics"
+
+// Visit is called for each node reached by a traversal, with the hop count
+// at which the node was first reached. Returning false stops the traversal.
+type Visit func(u NodeID, depth int) bool
+
+// BFSOut runs a breadth-first traversal from src following follow edges
+// (out-adjacency) up to maxDepth hops. src itself is visited at depth 0.
+func BFSOut(g *Graph, src NodeID, maxDepth int, visit Visit) {
+	bfs(g, src, maxDepth, visit, g.Out)
+}
+
+// BFSIn runs a breadth-first traversal from src against follow edges
+// (in-adjacency: toward followers) up to maxDepth hops.
+func BFSIn(g *Graph, src NodeID, maxDepth int, visit Visit) {
+	bfs(g, src, maxDepth, visit, g.In)
+}
+
+func bfs(g *Graph, src NodeID, maxDepth int, visit Visit, adj func(NodeID) ([]NodeID, []topics.Set)) {
+	seen := make(map[NodeID]bool, 64)
+	seen[src] = true
+	if !visit(src, 0) {
+		return
+	}
+	frontier := []NodeID{src}
+	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, u := range frontier {
+			nbrs, _ := adj(u)
+			for _, v := range nbrs {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				if !visit(v, depth) {
+					return
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+}
+
+// Vicinity returns Υk(u): the set of nodes reachable from u in at most k
+// hops along follow edges, excluding u itself.
+func Vicinity(g *Graph, u NodeID, k int) []NodeID {
+	var out []NodeID
+	BFSOut(g, u, k, func(v NodeID, depth int) bool {
+		if depth > 0 {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// ReachableCount returns how many distinct nodes are reachable from u
+// within k hops (excluding u).
+func ReachableCount(g *Graph, u NodeID, k int) int {
+	n := 0
+	BFSOut(g, u, k, func(v NodeID, depth int) bool {
+		if depth > 0 {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// CountPaths enumerates, by exhaustive DFS, the number of distinct paths
+// from u to v of each length 1..maxLen. Intended for tests and tiny graphs
+// only: cost grows with out-degree^maxLen.
+func CountPaths(g *Graph, u, v NodeID, maxLen int) []int {
+	counts := make([]int, maxLen+1)
+	var walk func(cur NodeID, depth int)
+	walk = func(cur NodeID, depth int) {
+		if depth >= maxLen {
+			return
+		}
+		dst, _ := g.Out(cur)
+		for _, w := range dst {
+			if w == v {
+				counts[depth+1]++
+			}
+			walk(w, depth+1)
+		}
+	}
+	walk(u, 0)
+	return counts
+}

@@ -1,0 +1,98 @@
+package katz
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+func TestKatzMatchesTopoOracle(t *testing.T) {
+	ds := gen.RandomWith(12, 40, 3)
+	const beta, maxLen = 0.3, 4
+	r, err := New(ds.Graph, beta, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle engine for brute force.
+	p := core.DefaultParams()
+	p.Beta = beta
+	p.Variant = core.TopoOnly
+	p.Tol = 0
+	p.MaxDepth = maxLen
+	eng, err := core.NewEngine(ds.Graph, nil, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := make([]graph.NodeID, 0, 11)
+	for v := 1; v < 12; v++ {
+		cands = append(cands, graph.NodeID(v))
+	}
+	got := r.ScoreCandidates(0, 0, cands)
+	for i, c := range cands {
+		want := eng.BruteForceTopo(0, c, beta, maxLen)
+		if d := got[i] - want; d > 1e-9 || d < -1e-9 {
+			t.Errorf("katz(0,%d) = %g, want %g", c, got[i], want)
+		}
+	}
+}
+
+func TestKatzTopicBlind(t *testing.T) {
+	ds := gen.RandomWith(15, 60, 5)
+	r, err := New(ds.Graph, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Recommend(2, 0, 5)
+	b := r.Recommend(2, topics.ID(7), 5)
+	if len(a) != len(b) {
+		t.Fatal("Katz must ignore the topic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Katz rankings differ across topics at %d", i)
+		}
+	}
+	if r.Name() != "Katz" {
+		t.Errorf("Name = %q", r.Name())
+	}
+}
+
+func TestKatzFavorsShortAndMany(t *testing.T) {
+	// 0→1→3 and 0→2→3 and 0→4: Katz(0,4) (1 hop) > Katz(0,3) (two 2-hop
+	// paths) with small beta; with beta near 1 path count dominates less
+	// clearly, so use the paper-scale beta.
+	vocab := topics.MustVocabulary([]string{"x"})
+	b := graph.NewBuilder(vocab, 5)
+	lbl := topics.NewSet(0)
+	b.AddEdge(0, 1, lbl)
+	b.AddEdge(0, 2, lbl)
+	b.AddEdge(1, 3, lbl)
+	b.AddEdge(2, 3, lbl)
+	b.AddEdge(0, 4, lbl)
+	g := b.MustFreeze()
+	r, err := New(g, 0.0005, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend(0, 0, 5)
+	if len(recs) != 4 {
+		t.Fatalf("got %d recommendations, want 4", len(recs))
+	}
+	// The three 1-hop accounts (1, 2, 4) tie at β and precede node 3.
+	for i, s := range recs[:3] {
+		if s.Score != 0.0005 {
+			t.Errorf("rank %d score = %g, want β", i+1, s.Score)
+		}
+	}
+	// Node 3 is last with its two 2-hop paths: 2β².
+	if recs[3].Node != 3 {
+		t.Fatalf("2-hop account must rank last, got %v", recs)
+	}
+	if want := 2 * 0.0005 * 0.0005; math.Abs(recs[3].Score-want) > 1e-15 {
+		t.Errorf("katz(0,3) = %g, want 2β² = %g", recs[3].Score, want)
+	}
+}

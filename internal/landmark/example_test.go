@@ -1,0 +1,47 @@
+package landmark_test
+
+import (
+	"fmt"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/landmark"
+)
+
+// Example shows the full landmark life cycle: select, preprocess, query.
+func Example() {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 500
+	cfg.Seed = 11
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		panic(err)
+	}
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+
+	// Select landmarks by in-degree and run Algorithm 1 from each.
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 10, landmark.DefaultSelectConfig())
+	if err != nil {
+		panic(err)
+	}
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 100})
+
+	// Answer a query with the depth-2 approximation (Algorithm 2).
+	approx, err := landmark.NewApprox(eng, store, 2)
+	if err != nil {
+		panic(err)
+	}
+	tech := ds.Vocabulary().MustLookup("technology")
+	res := approx.Query(3, tech, 5)
+	fmt.Printf("landmarks preprocessed: %d\n", store.Len())
+	fmt.Printf("landmarks met at depth 2: %d\n", res.LandmarksMet)
+	fmt.Printf("recommendations: %d\n", len(res.Scores))
+	// Output:
+	// landmarks preprocessed: 10
+	// landmarks met at depth 2: 10
+	// recommendations: 5
+}

@@ -1,0 +1,105 @@
+package landmark
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// PreprocessConfig controls the preprocessing step.
+type PreprocessConfig struct {
+	// TopN is the list length kept per topic per landmark (the paper
+	// evaluates 10, 100 and 1000).
+	TopN int
+	// Workers bounds the parallelism across landmarks; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// PreprocessStats reports the preprocessing cost, the quantities of
+// Table 5.
+type PreprocessStats struct {
+	// SelectionTime is filled by the caller (selection happens before
+	// preprocessing); kept here so reports carry both columns.
+	SelectionTime time.Duration
+	// ComputeTime is the summed per-landmark exploration time (i.e. the
+	// sequential cost; wall-clock is lower with Workers > 1).
+	ComputeTime time.Duration
+	// WallTime is the elapsed wall-clock time of the whole step.
+	WallTime time.Duration
+	// Landmarks is the number of landmarks processed.
+	Landmarks int
+}
+
+// PerLandmark returns the average per-landmark computation time (Table 5's
+// "comput." column).
+func (s PreprocessStats) PerLandmark() time.Duration {
+	if s.Landmarks == 0 {
+		return 0
+	}
+	return s.ComputeTime / time.Duration(s.Landmarks)
+}
+
+// Preprocess runs Algorithm 1 to convergence from every landmark (all
+// topics, engine MaxDepth as the large maxk) and stores the per-topic
+// top-n lists and the top-n topological list.
+func Preprocess(eng *core.Engine, landmarks []graph.NodeID, cfg PreprocessConfig) (*Store, PreprocessStats) {
+	vocabLen := eng.Graph().Vocabulary().Len()
+	store := NewStore(vocabLen, cfg.TopN)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(landmarks) {
+		workers = len(landmarks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	type result struct {
+		data *Data
+		cost time.Duration
+	}
+	jobs := make(chan graph.NodeID)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := core.NewScratch(eng) // one dense buffer per worker
+			for l := range jobs {
+				t0 := time.Now()
+				x := eng.ExploreOpts(l, nil, core.ExploreOptions{
+					Mode:    core.DenseMode,
+					Scratch: scratch,
+				})
+				d := buildData(l, cfg.TopN, vocabLen, x.Reached,
+					x.Sigma, x.TopoB, x.Iterations)
+				results <- result{data: d, cost: time.Since(t0)}
+			}
+		}()
+	}
+	go func() {
+		for _, l := range landmarks {
+			jobs <- l
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	stats := PreprocessStats{}
+	for r := range results {
+		store.Put(r.data) //nolint:errcheck // vocabLen matches by construction
+		stats.ComputeTime += r.cost
+		stats.Landmarks++
+	}
+	stats.WallTime = time.Since(start)
+	return store, stats
+}

@@ -1,0 +1,262 @@
+// Package landmark implements the paper's landmark-based approximate
+// recommendation (Section 4): a preprocessing step precomputes, for a
+// small set L of landmark nodes, the per-topic top-n recommendation lists
+// and topological scores (Algorithm 1 run to convergence); at query time a
+// shallow exploration from the query node collects the landmarks it meets
+// and combines their stored scores through the score composition property
+// (Proposition 4, Algorithm 2), yielding a 2–3 order of magnitude speedup
+// over the exact computation.
+//
+// Eleven landmark selection strategies (Table 4) are provided, from
+// uniform random sampling to degree-, band- and coverage-based selection.
+package landmark
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ranking"
+)
+
+// Strategy names a landmark selection algorithm from Table 4.
+type Strategy string
+
+// The eleven strategies of Table 4.
+const (
+	// Random draws landmarks with a uniform distribution.
+	Random Strategy = "Random"
+	// Follow draws landmarks with probability proportional to their
+	// number of followers (in-degree).
+	Follow Strategy = "Follow"
+	// Publish draws landmarks with probability proportional to the number
+	// of publishers they follow (out-degree).
+	Publish Strategy = "Publish"
+	// InDeg takes the nodes with highest in-degree.
+	InDeg Strategy = "In-Deg"
+	// BtwFol draws uniformly among nodes whose follower count lies in
+	// [MinFollow, MaxFollow].
+	BtwFol Strategy = "Btw-Fol"
+	// OutDeg takes the nodes with highest out-degree.
+	OutDeg Strategy = "Out-Deg"
+	// BtwPub draws uniformly among nodes whose publisher count lies in
+	// [MinPublish, MaxPublish].
+	BtwPub Strategy = "Btw-Pub"
+	// Central selects nodes reachable at a given distance from the most
+	// seed nodes.
+	Central Strategy = "Central"
+	// OutCen selects nodes by the number of distinct seeds they reach
+	// (cover) within the given distance.
+	OutCen Strategy = "Out-Cen"
+	// Combine is a weighted combination of Central and OutCen coverage.
+	Combine Strategy = "Combine"
+	// Combine2 draws uniformly among nodes satisfying both the BtwFol and
+	// BtwPub bands.
+	Combine2 Strategy = "Combine2"
+)
+
+// Strategies lists all selection strategies in the order of Table 4.
+var Strategies = []Strategy{
+	Random, Follow, Publish, InDeg, BtwFol, OutDeg, BtwPub,
+	Central, OutCen, Combine, Combine2,
+}
+
+// SelectConfig carries the strategy-specific knobs.
+type SelectConfig struct {
+	// MinFollow/MaxFollow is the follower-count band of BtwFol (and half
+	// of Combine2).
+	MinFollow, MaxFollow int
+	// MinPublish/MaxPublish is the publisher-count band of BtwPub.
+	MinPublish, MaxPublish int
+	// Seeds is the number of sampled seed nodes for the coverage-based
+	// strategies (Central, OutCen, Combine).
+	Seeds int
+	// SeedDepth is the BFS radius used to measure coverage.
+	SeedDepth int
+	// CentralWeight weighs Central coverage against OutCen coverage in
+	// Combine (0..1).
+	CentralWeight float64
+	// Seed drives every random draw.
+	Seed uint64
+}
+
+// DefaultSelectConfig returns bands and seed counts that behave sensibly
+// on the scaled datasets.
+func DefaultSelectConfig() SelectConfig {
+	return SelectConfig{
+		MinFollow: 10, MaxFollow: 500,
+		MinPublish: 10, MaxPublish: 500,
+		Seeds: 64, SeedDepth: 3, CentralWeight: 0.5,
+		Seed: 1,
+	}
+}
+
+// Select returns k distinct landmarks chosen by the given strategy. Fewer
+// than k may be returned when the eligible pool is smaller than k.
+func Select(g *graph.Graph, s Strategy, k int, cfg SelectConfig) ([]graph.NodeID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("landmark: k must be positive, got %d", k)
+	}
+	r := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa5a5a5a5deadbeef))
+	n := g.NumNodes()
+	switch s {
+	case Random:
+		return sampleUniform(r, n, k, nil), nil
+	case Follow:
+		return sampleWeighted(r, n, k, func(u graph.NodeID) float64 {
+			return float64(g.InDegree(u))
+		}), nil
+	case Publish:
+		return sampleWeighted(r, n, k, func(u graph.NodeID) float64 {
+			return float64(g.OutDegree(u))
+		}), nil
+	case InDeg:
+		return topKBy(g, k, func(u graph.NodeID) float64 { return float64(g.InDegree(u)) }), nil
+	case OutDeg:
+		return topKBy(g, k, func(u graph.NodeID) float64 { return float64(g.OutDegree(u)) }), nil
+	case BtwFol:
+		return sampleUniform(r, n, k, func(u graph.NodeID) bool {
+			d := g.InDegree(u)
+			return d >= cfg.MinFollow && d <= cfg.MaxFollow
+		}), nil
+	case BtwPub:
+		return sampleUniform(r, n, k, func(u graph.NodeID) bool {
+			d := g.OutDegree(u)
+			return d >= cfg.MinPublish && d <= cfg.MaxPublish
+		}), nil
+	case Central:
+		cov := inCoverage(g, r, cfg)
+		return topKBy(g, k, func(u graph.NodeID) float64 { return float64(cov[u]) }), nil
+	case OutCen:
+		cov := outCoverage(g, r, cfg)
+		return topKBy(g, k, func(u graph.NodeID) float64 { return float64(cov[u]) }), nil
+	case Combine:
+		in := inCoverage(g, r, cfg)
+		out := outCoverage(g, r, cfg)
+		w := cfg.CentralWeight
+		return topKBy(g, k, func(u graph.NodeID) float64 {
+			return w*float64(in[u]) + (1-w)*float64(out[u])
+		}), nil
+	case Combine2:
+		return sampleUniform(r, n, k, func(u graph.NodeID) bool {
+			di, do := g.InDegree(u), g.OutDegree(u)
+			return di >= cfg.MinFollow && di <= cfg.MaxFollow &&
+				do >= cfg.MinPublish && do <= cfg.MaxPublish
+		}), nil
+	default:
+		return nil, fmt.Errorf("landmark: unknown strategy %q", s)
+	}
+}
+
+// sampleUniform draws up to k distinct nodes uniformly among those
+// accepted by ok (nil accepts all).
+func sampleUniform(r *rand.Rand, n, k int, ok func(graph.NodeID) bool) []graph.NodeID {
+	pool := make([]graph.NodeID, 0, n)
+	for u := 0; u < n; u++ {
+		if ok == nil || ok(graph.NodeID(u)) {
+			pool = append(pool, graph.NodeID(u))
+		}
+	}
+	if len(pool) <= k {
+		return pool
+	}
+	// Partial Fisher-Yates.
+	for i := 0; i < k; i++ {
+		j := i + r.IntN(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:k]
+}
+
+// sampleWeighted draws up to k distinct nodes with probability
+// proportional to weight (zero-weight nodes are never drawn).
+func sampleWeighted(r *rand.Rand, n, k int, weight func(graph.NodeID) float64) []graph.NodeID {
+	// Cumulative weights once; rejection on duplicates.
+	cum := make([]float64, n)
+	total := 0.0
+	eligible := 0
+	for u := 0; u < n; u++ {
+		w := weight(graph.NodeID(u))
+		if w > 0 {
+			eligible++
+		}
+		total += w
+		cum[u] = total
+	}
+	if total == 0 {
+		return nil
+	}
+	if eligible <= k {
+		out := make([]graph.NodeID, 0, eligible)
+		for u := 0; u < n; u++ {
+			if weight(graph.NodeID(u)) > 0 {
+				out = append(out, graph.NodeID(u))
+			}
+		}
+		return out
+	}
+	chosen := make(map[graph.NodeID]bool, k)
+	out := make([]graph.NodeID, 0, k)
+	for len(out) < k {
+		x := r.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= n {
+			i = n - 1
+		}
+		u := graph.NodeID(i)
+		if chosen[u] {
+			continue
+		}
+		chosen[u] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+// topKBy returns the k nodes maximizing score (ties by ascending id).
+func topKBy(g *graph.Graph, k int, score func(graph.NodeID) float64) []graph.NodeID {
+	top := ranking.NewTopN(k)
+	for u := 0; u < g.NumNodes(); u++ {
+		if s := score(graph.NodeID(u)); s > 0 {
+			top.Insert(graph.NodeID(u), s)
+		}
+	}
+	list := top.List()
+	out := make([]graph.NodeID, len(list))
+	for i, s := range list {
+		out[i] = s.Node
+	}
+	return out
+}
+
+// inCoverage counts, per node, from how many sampled seeds it is reachable
+// within SeedDepth hops (the Central criterion).
+func inCoverage(g *graph.Graph, r *rand.Rand, cfg SelectConfig) []int {
+	cov := make([]int, g.NumNodes())
+	for _, s := range sampleUniform(r, g.NumNodes(), cfg.Seeds, nil) {
+		graph.BFSOut(g, s, cfg.SeedDepth, func(u graph.NodeID, depth int) bool {
+			if depth > 0 {
+				cov[u]++
+			}
+			return true
+		})
+	}
+	return cov
+}
+
+// outCoverage counts, per node, how many sampled seeds it reaches within
+// SeedDepth hops (the Out-Cen criterion). Computed by reverse BFS from
+// each seed.
+func outCoverage(g *graph.Graph, r *rand.Rand, cfg SelectConfig) []int {
+	cov := make([]int, g.NumNodes())
+	for _, s := range sampleUniform(r, g.NumNodes(), cfg.Seeds, nil) {
+		graph.BFSIn(g, s, cfg.SeedDepth, func(u graph.NodeID, depth int) bool {
+			if depth > 0 {
+				cov[u]++
+			}
+			return true
+		})
+	}
+	return cov
+}

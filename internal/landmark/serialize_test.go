@@ -1,0 +1,91 @@
+package landmark
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	ds := gen.RandomWith(40, 400, 7)
+	eng := engineOn(t, ds, 0.05)
+	lms, err := Select(ds.Graph, InDeg, 4, DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := Preprocess(eng, lms, PreprocessConfig{TopN: 20})
+
+	var buf bytes.Buffer
+	n, err := store.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != store.Len() || got.VocabLen() != store.VocabLen() || got.TopN() != store.TopN() {
+		t.Fatalf("store shape mismatch after round trip")
+	}
+	for _, l := range store.Landmarks() {
+		a, b := store.Get(l), got.Get(l)
+		if b == nil {
+			t.Fatalf("landmark %d lost", l)
+		}
+		if a.Iterations != b.Iterations {
+			t.Errorf("iterations differ for %d", l)
+		}
+		for ti := range a.Topical {
+			la, lb := a.Topical[ti], b.Topical[ti]
+			if la.Len() != lb.Len() {
+				t.Fatalf("list %d of %d: length %d vs %d", ti, l, la.Len(), lb.Len())
+			}
+			for i := range la.Nodes {
+				if la.Nodes[i] != lb.Nodes[i] || la.Sigma[i] != lb.Sigma[i] || la.Topo[i] != lb.Topo[i] {
+					t.Fatalf("entry %d of list %d differs", i, ti)
+				}
+			}
+		}
+		if a.TopoTop.Len() != b.TopoTop.Len() {
+			t.Error("topo list length differs")
+		}
+	}
+}
+
+func TestReadStoreRejectsGarbage(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short input must error")
+	}
+	if _, err := ReadStore(bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0})); err == nil {
+		t.Error("bad magic must error")
+	}
+	// A header claiming an implausible vocabulary.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x31, 0x4b, 0x4d, 0x4c}) // magic little-endian
+	buf.Write([]byte{0xff, 0xff, 0, 0})       // vocabLen = 65535
+	buf.Write([]byte{10, 0, 0, 0})
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := ReadStore(&buf); err == nil {
+		t.Error("implausible vocabulary size must error")
+	}
+}
+
+func TestReadStoreTruncatedPayload(t *testing.T) {
+	ds := gen.RandomWith(30, 200, 8)
+	eng := engineOn(t, ds, 0.05)
+	lms, _ := Select(ds.Graph, Random, 2, DefaultSelectConfig())
+	store, _ := Preprocess(eng, lms, PreprocessConfig{TopN: 10})
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadStore(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated payload must error")
+	}
+}

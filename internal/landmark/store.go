@@ -1,0 +1,179 @@
+package landmark
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ranking"
+)
+
+// List is one inverted list of a landmark: recommended nodes with their
+// recommendation score σ(λ, v, t) and topological score topo_β(λ, v),
+// best-σ first. Both values are kept because the query-time combination
+// (Proposition 4) needs both for every recommended node.
+type List struct {
+	Nodes []graph.NodeID
+	Sigma []float64
+	Topo  []float64
+}
+
+// Len returns the list length.
+func (l *List) Len() int { return len(l.Nodes) }
+
+// append1 adds one entry.
+func (l *List) append1(v graph.NodeID, sigma, topo float64) {
+	l.Nodes = append(l.Nodes, v)
+	l.Sigma = append(l.Sigma, sigma)
+	l.Topo = append(l.Topo, topo)
+}
+
+// Data is everything preprocessed for one landmark: a per-topic top-n
+// inverted list plus the top-n topological list.
+type Data struct {
+	Landmark graph.NodeID
+	// Topical[t] ranks nodes by σ(λ, ·, t).
+	Topical []List
+	// TopoTop ranks nodes by topo_β(λ, ·); its Sigma slice holds the
+	// corresponding σ values on no particular topic and is zero.
+	TopoTop List
+	// Iterations is how many hops the preprocessing exploration ran.
+	Iterations int
+}
+
+// Store maps landmarks to their preprocessed recommendation lists; the
+// "inverted lists" of Section 5.2.
+type Store struct {
+	vocabLen int
+	topN     int
+	data     map[graph.NodeID]*Data
+	order    []graph.NodeID // insertion order, for deterministic iteration
+}
+
+// NewStore creates an empty store for lists of length topN over a
+// vocabulary of vocabLen topics.
+func NewStore(vocabLen, topN int) *Store {
+	return &Store{
+		vocabLen: vocabLen,
+		topN:     topN,
+		data:     make(map[graph.NodeID]*Data),
+	}
+}
+
+// VocabLen returns the number of topics per landmark.
+func (s *Store) VocabLen() int { return s.vocabLen }
+
+// TopN returns the list length bound.
+func (s *Store) TopN() int { return s.topN }
+
+// Len returns the number of landmarks stored.
+func (s *Store) Len() int { return len(s.data) }
+
+// Landmarks returns the stored landmarks in insertion order.
+func (s *Store) Landmarks() []graph.NodeID {
+	return append([]graph.NodeID(nil), s.order...)
+}
+
+// Contains reports whether λ is a stored landmark.
+func (s *Store) Contains(l graph.NodeID) bool {
+	_, ok := s.data[l]
+	return ok
+}
+
+// Get returns the data of landmark λ, or nil.
+func (s *Store) Get(l graph.NodeID) *Data { return s.data[l] }
+
+// Put inserts (or replaces) a landmark's data.
+func (s *Store) Put(d *Data) error {
+	if len(d.Topical) != s.vocabLen {
+		return fmt.Errorf("landmark: data for %d has %d topical lists, want %d", d.Landmark, len(d.Topical), s.vocabLen)
+	}
+	if _, exists := s.data[d.Landmark]; !exists {
+		s.order = append(s.order, d.Landmark)
+	}
+	s.data[d.Landmark] = d
+	return nil
+}
+
+// Bytes estimates the in-memory footprint of the stored lists (the paper
+// reports ≈1.4 MB per landmark for top-1000 lists over all topics).
+func (s *Store) Bytes() int {
+	total := 0
+	for _, d := range s.data {
+		for i := range d.Topical {
+			total += d.Topical[i].Len() * (4 + 8 + 8)
+		}
+		total += d.TopoTop.Len() * (4 + 8 + 8)
+	}
+	return total
+}
+
+// buildData condenses one converged exploration into a landmark's lists.
+func buildData(l graph.NodeID, topN int, vocabLen int,
+	reached []graph.NodeID,
+	sigma func(v graph.NodeID, ti int) float64,
+	topo func(v graph.NodeID) float64,
+	iterations int) *Data {
+
+	d := &Data{Landmark: l, Topical: make([]List, vocabLen), Iterations: iterations}
+	for ti := 0; ti < vocabLen; ti++ {
+		top := ranking.NewTopN(topN)
+		for _, v := range reached {
+			if sc := sigma(v, ti); sc > 0 {
+				top.Insert(v, sc)
+			}
+		}
+		lst := &d.Topical[ti]
+		for _, e := range top.List() {
+			lst.append1(e.Node, e.Score, topo(e.Node))
+		}
+	}
+	topoTop := ranking.NewTopN(topN)
+	for _, v := range reached {
+		if tv := topo(v); tv > 0 {
+			topoTop.Insert(v, tv)
+		}
+	}
+	for _, e := range topoTop.List() {
+		d.TopoTop.append1(e.Node, 0, e.Score)
+	}
+	return d
+}
+
+// Truncated returns a copy of the store with every list cut to n entries,
+// used to compare L10/L100/L1000 store sizes (Table 6) without
+// re-running the preprocessing.
+func (s *Store) Truncated(n int) *Store {
+	ns := NewStore(s.vocabLen, n)
+	for _, l := range s.order {
+		d := s.data[l]
+		nd := &Data{Landmark: d.Landmark, Topical: make([]List, len(d.Topical)), Iterations: d.Iterations}
+		for i := range d.Topical {
+			nd.Topical[i] = truncList(d.Topical[i], n)
+		}
+		nd.TopoTop = truncList(d.TopoTop, n)
+		ns.Put(nd) //nolint:errcheck // same vocabLen by construction
+	}
+	return ns
+}
+
+func truncList(l List, n int) List {
+	if l.Len() <= n {
+		return List{
+			Nodes: append([]graph.NodeID(nil), l.Nodes...),
+			Sigma: append([]float64(nil), l.Sigma...),
+			Topo:  append([]float64(nil), l.Topo...),
+		}
+	}
+	return List{
+		Nodes: append([]graph.NodeID(nil), l.Nodes[:n]...),
+		Sigma: append([]float64(nil), l.Sigma[:n]...),
+		Topo:  append([]float64(nil), l.Topo[:n]...),
+	}
+}
+
+// checkSorted verifies a list is ranked by decreasing sigma; used by
+// deserialization to validate input.
+func checkSorted(l List) bool {
+	return sort.SliceIsSorted(l.Sigma, func(i, j int) bool { return l.Sigma[i] > l.Sigma[j] })
+}

@@ -1,0 +1,208 @@
+// Package lda implements Latent Dirichlet Allocation with collapsed Gibbs
+// sampling. TwitterRank [Weng et al.] builds its user-topic matrix DT by
+// running LDA over each user's aggregated tweets; this package provides
+// that substrate over the synthetic corpus, so the TwitterRank baseline
+// can be driven exactly the way its authors describe instead of from
+// profile heuristics.
+//
+// The implementation is the standard collapsed sampler: topic assignment
+// z for every token, counts n(d,k), n(k,w), n(k), and the full
+// conditional
+//
+//	p(z=k | rest) ∝ (n(d,k)+α) · (n(k,w)+β) / (n(k)+βV)
+//
+// Documents here are users (all posts of a user concatenated), matching
+// TwitterRank's DT construction.
+package lda
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	// Topics is K, the number of latent topics.
+	Topics int
+	// Alpha is the document-topic Dirichlet prior (typically 50/K).
+	Alpha float64
+	// Beta is the topic-word Dirichlet prior (typically 0.01–0.1).
+	Beta float64
+	// Iterations of Gibbs sweeps.
+	Iterations int
+	// Seed drives the sampler.
+	Seed uint64
+}
+
+// DefaultConfig returns standard priors for K topics.
+func DefaultConfig(k int) Config {
+	return Config{Topics: k, Alpha: 50.0 / float64(k), Beta: 0.01, Iterations: 60, Seed: 1}
+}
+
+// Model is a fitted LDA model.
+type Model struct {
+	cfg   Config
+	vocab map[string]int
+	words []string
+	// docTopic[d*K+k] = n(d,k); topicWord[k*V+w] = n(k,w); topicSum[k] = n(k).
+	docTopic  []int
+	topicWord []int
+	topicSum  []int
+	docLen    []int
+}
+
+// Fit runs the collapsed Gibbs sampler over documents (each a token
+// slice).
+func Fit(docs [][]string, cfg Config) (*Model, error) {
+	if cfg.Topics < 2 {
+		return nil, fmt.Errorf("lda: need at least 2 topics, got %d", cfg.Topics)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("lda: need at least 1 iteration")
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("lda: no documents")
+	}
+	m := &Model{cfg: cfg, vocab: make(map[string]int)}
+	// Index the vocabulary and encode documents.
+	encoded := make([][]int, len(docs))
+	for d, doc := range docs {
+		enc := make([]int, len(doc))
+		for i, w := range doc {
+			id, ok := m.vocab[w]
+			if !ok {
+				id = len(m.words)
+				m.vocab[w] = id
+				m.words = append(m.words, w)
+			}
+			enc[i] = id
+		}
+		encoded[d] = enc
+	}
+	V, K, D := len(m.words), cfg.Topics, len(docs)
+	if V == 0 {
+		return nil, fmt.Errorf("lda: empty vocabulary")
+	}
+	m.docTopic = make([]int, D*K)
+	m.topicWord = make([]int, K*V)
+	m.topicSum = make([]int, K)
+	m.docLen = make([]int, D)
+
+	r := rand.New(rand.NewPCG(cfg.Seed, 0x1da))
+	// Random initialization.
+	z := make([][]int, D)
+	for d, doc := range encoded {
+		z[d] = make([]int, len(doc))
+		m.docLen[d] = len(doc)
+		for i, w := range doc {
+			k := r.IntN(K)
+			z[d][i] = k
+			m.docTopic[d*K+k]++
+			m.topicWord[k*V+w]++
+			m.topicSum[k]++
+		}
+	}
+
+	probs := make([]float64, K)
+	betaV := cfg.Beta * float64(V)
+	for it := 0; it < cfg.Iterations; it++ {
+		for d, doc := range encoded {
+			for i, w := range doc {
+				k := z[d][i]
+				m.docTopic[d*K+k]--
+				m.topicWord[k*V+w]--
+				m.topicSum[k]--
+
+				total := 0.0
+				for kk := 0; kk < K; kk++ {
+					p := (float64(m.docTopic[d*K+kk]) + cfg.Alpha) *
+						(float64(m.topicWord[kk*V+w]) + cfg.Beta) /
+						(float64(m.topicSum[kk]) + betaV)
+					probs[kk] = p
+					total += p
+				}
+				x := r.Float64() * total
+				nk := K - 1
+				acc := 0.0
+				for kk := 0; kk < K; kk++ {
+					acc += probs[kk]
+					if x < acc {
+						nk = kk
+						break
+					}
+				}
+				z[d][i] = nk
+				m.docTopic[d*K+nk]++
+				m.topicWord[nk*V+w]++
+				m.topicSum[nk]++
+			}
+		}
+	}
+	return m, nil
+}
+
+// K returns the number of latent topics.
+func (m *Model) K() int { return m.cfg.Topics }
+
+// WordID returns the model-internal id of a word, or -1 if the word never
+// occurred in the training corpus.
+func (m *Model) WordID(w string) int {
+	if id, ok := m.vocab[w]; ok {
+		return id
+	}
+	return -1
+}
+
+// V returns the vocabulary size.
+func (m *Model) V() int { return len(m.words) }
+
+// DocTopics returns θ_d: the smoothed topic distribution of document d
+// (sums to 1).
+func (m *Model) DocTopics(d int) []float64 {
+	K := m.cfg.Topics
+	out := make([]float64, K)
+	denom := float64(m.docLen[d]) + m.cfg.Alpha*float64(K)
+	for k := 0; k < K; k++ {
+		out[k] = (float64(m.docTopic[d*K+k]) + m.cfg.Alpha) / denom
+	}
+	return out
+}
+
+// TopicWords returns φ_k: the smoothed word distribution of latent topic
+// k.
+func (m *Model) TopicWords(k int) []float64 {
+	V := len(m.words)
+	out := make([]float64, V)
+	denom := float64(m.topicSum[k]) + m.cfg.Beta*float64(V)
+	for w := 0; w < V; w++ {
+		out[w] = (float64(m.topicWord[k*V+w]) + m.cfg.Beta) / denom
+	}
+	return out
+}
+
+// TopWords returns the n highest-probability words of latent topic k.
+func (m *Model) TopWords(k, n int) []string {
+	phi := m.TopicWords(k)
+	idx := make([]int, len(phi))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: n is small.
+	if n > len(idx) {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if phi[idx[j]] > phi[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.words[idx[i]]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// synthetic corpus with two crisp topics: documents draw tokens from one
+// of two disjoint pools.
+func twoTopicDocs(n int, seed uint64) ([][]string, []int) {
+	r := rand.New(rand.NewPCG(seed, 1))
+	pools := [2][]string{}
+	for i := 0; i < 20; i++ {
+		pools[0] = append(pools[0], fmt.Sprintf("alpha%d", i))
+		pools[1] = append(pools[1], fmt.Sprintf("beta%d", i))
+	}
+	docs := make([][]string, n)
+	truth := make([]int, n)
+	for d := range docs {
+		t := d % 2
+		truth[d] = t
+		for i := 0; i < 40; i++ {
+			docs[d] = append(docs[d], pools[t][r.IntN(len(pools[t]))])
+		}
+	}
+	return docs, truth
+}
+
+func TestFitSeparatesTopics(t *testing.T) {
+	docs, truth := twoTopicDocs(60, 3)
+	m, err := Fit(docs, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each document's dominant latent topic must be consistent within its
+	// true class and differ across classes.
+	dominant := func(d int) int {
+		th := m.DocTopics(d)
+		if th[0] > th[1] {
+			return 0
+		}
+		return 1
+	}
+	agree := 0
+	ref0, ref1 := dominant(0), dominant(1)
+	if ref0 == ref1 {
+		t.Fatalf("two crisp topics collapsed into one")
+	}
+	for d := range docs {
+		want := ref0
+		if truth[d] == 1 {
+			want = ref1
+		}
+		if dominant(d) == want {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(docs)); frac < 0.95 {
+		t.Errorf("topic recovery %.2f, want >= 0.95", frac)
+	}
+	// Top words of each latent topic come from one pool.
+	for k := 0; k < 2; k++ {
+		words := m.TopWords(k, 10)
+		prefix := words[0][:4]
+		for _, w := range words {
+			if w[:4] != prefix {
+				t.Errorf("latent topic %d mixes pools: %v", k, words)
+				break
+			}
+		}
+	}
+}
+
+func TestDistributionsSumToOne(t *testing.T) {
+	docs, _ := twoTopicDocs(20, 5)
+	m, err := Fit(docs, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range docs {
+		sum := 0.0
+		for _, p := range m.DocTopics(d) {
+			if p <= 0 {
+				t.Fatal("theta must be positive (smoothed)")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("theta sums to %g", sum)
+		}
+	}
+	for k := 0; k < m.K(); k++ {
+		sum := 0.0
+		for _, p := range m.TopicWords(k) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("phi sums to %g", sum)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, DefaultConfig(2)); err == nil {
+		t.Error("no documents must error")
+	}
+	if _, err := Fit([][]string{{"a"}}, Config{Topics: 1, Iterations: 1}); err == nil {
+		t.Error("K=1 must error")
+	}
+	if _, err := Fit([][]string{{"a"}}, Config{Topics: 2, Iterations: 0}); err == nil {
+		t.Error("0 iterations must error")
+	}
+	if _, err := Fit([][]string{{}, {}}, DefaultConfig(2)); err == nil {
+		t.Error("empty vocabulary must error")
+	}
+}
+
+func TestWordID(t *testing.T) {
+	docs, _ := twoTopicDocs(4, 7)
+	m, err := Fit(docs, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WordID("alpha0") < 0 {
+		t.Error("known word not found")
+	}
+	if m.WordID("unseen") != -1 {
+		t.Error("unknown word must map to -1")
+	}
+	// 4 docs × 40 random draws from two 20-word pools: most (maybe not
+	// all) words appear.
+	if m.V() < 30 || m.V() > 40 {
+		t.Errorf("V = %d, want 30..40", m.V())
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	docs, _ := twoTopicDocs(10, 9)
+	cfg := DefaultConfig(2)
+	a, err := Fit(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(docs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range docs {
+		ta, tb := a.DocTopics(d), b.DocTopics(d)
+		for k := range ta {
+			if ta[k] != tb[k] {
+				t.Fatal("same seed must reproduce the fit")
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package ranking provides ranked recommendation lists, top-n selection,
+// rank-list comparison (Kendall tau) and metasearch score combination —
+// the pieces shared by the exact recommender, the baselines, the landmark
+// store and the evaluation harness.
+package ranking
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Scored is a candidate account with its recommendation score.
+type Scored struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Recommender is the interface shared by every recommendation method in
+// this repository (Tr exact, Tr landmark-approximate, Katz, TwitterRank).
+type Recommender interface {
+	// Name identifies the method in reports ("Tr", "Katz", "TwitterRank", ...).
+	Name() string
+	// ScoreCandidates returns a recommendation score of each candidate
+	// account for user u on topic t. Scores are comparable within one call
+	// only. len(result) == len(cands).
+	ScoreCandidates(u graph.NodeID, t topics.ID, cands []graph.NodeID) []float64
+	// Recommend returns the top-n accounts for u on topic t, best first,
+	// excluding u itself.
+	Recommend(u graph.NodeID, t topics.ID, n int) []Scored
+}
+
+// SortDesc orders a scored list by decreasing score, breaking ties by
+// ascending node id so rankings are deterministic.
+func SortDesc(list []Scored) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Score != list[j].Score {
+			return list[i].Score > list[j].Score
+		}
+		return list[i].Node < list[j].Node
+	})
+}
+
+// TopN accumulates (node, score) pairs and retains the n best. It is a
+// bounded min-heap; Insert is O(log n) and List returns items best-first.
+// The zero value is unusable; use NewTopN.
+type TopN struct {
+	n    int
+	heap []Scored // min-heap on (score, then descending node id)
+}
+
+// NewTopN creates an accumulator keeping the n highest-scored entries.
+func NewTopN(n int) *TopN {
+	return &TopN{n: n, heap: make([]Scored, 0, n)}
+}
+
+// less reports whether a ranks strictly below b (a is "worse").
+func less(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node // larger id loses ties, matching SortDesc
+}
+
+// Insert offers a candidate. Entries with non-positive capacity are
+// ignored.
+func (t *TopN) Insert(node graph.NodeID, score float64) {
+	if t.n <= 0 {
+		return
+	}
+	s := Scored{Node: node, Score: score}
+	if len(t.heap) < t.n {
+		t.heap = append(t.heap, s)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if !less(t.heap[0], s) {
+		return
+	}
+	t.heap[0] = s
+	t.down(0)
+}
+
+func (t *TopN) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(t.heap[i], t.heap[p]) {
+			break
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *TopN) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(t.heap) && less(t.heap[l], t.heap[m]) {
+			m = l
+		}
+		if r < len(t.heap) && less(t.heap[r], t.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.heap[i], t.heap[m] = t.heap[m], t.heap[i]
+		i = m
+	}
+}
+
+// Len returns the number of retained entries.
+func (t *TopN) Len() int { return len(t.heap) }
+
+// List returns the retained entries best-first. The accumulator is left
+// intact.
+func (t *TopN) List() []Scored {
+	out := append([]Scored(nil), t.heap...)
+	SortDesc(out)
+	return out
+}
+
+// RankOf returns the 1-based rank of node in a best-first list, or 0 if
+// absent.
+func RankOf(list []Scored, node graph.NodeID) int {
+	for i, s := range list {
+		if s.Node == node {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// cacheKey identifies one recommendation request.
+type cacheKey struct {
+	user   graph.NodeID
+	topic  topics.ID
+	n      int
+	method string
+}
+
+// resultCache is a small LRU over recommendation results. Entries carry
+// the update generation they were computed at; any entry from an older
+// generation is treated as a miss, so a single counter bump invalidates
+// everything after a graph update — recommendations must never be served
+// from a pre-update world.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	gen     int
+	order   *list.List // front = most recent; values are cacheKey
+	entries map[cacheKey]*cacheEntry
+}
+
+type cacheEntry struct {
+	scores []ranking.Scored
+	gen    int
+	elem   *list.Element
+}
+
+// newResultCache creates a cache keeping up to cap entries.
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[cacheKey]*cacheEntry),
+	}
+}
+
+// get returns the cached scores and whether they are fresh.
+func (c *resultCache) get(k cacheKey) ([]ranking.Scored, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	if e.gen != c.gen {
+		// Stale: drop it eagerly.
+		c.order.Remove(e.elem)
+		delete(c.entries, k)
+		return nil, false
+	}
+	c.order.MoveToFront(e.elem)
+	return e.scores, true
+}
+
+// put stores scores computed at the current generation.
+func (c *resultCache) put(k cacheKey, scores []ranking.Scored) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.scores, e.gen = scores, c.gen
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(cacheKey))
+	}
+	e := &cacheEntry{scores: scores, gen: c.gen}
+	e.elem = c.order.PushFront(k)
+	c.entries[k] = e
+}
+
+// invalidate makes every existing entry stale.
+func (c *resultCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
+// len returns the live entry count (stale entries included until touched).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

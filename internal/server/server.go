@@ -1,0 +1,298 @@
+// Package server exposes the recommendation system as an HTTP/JSON
+// service — the deployment shape the paper describes for Twitter's
+// Who-to-Follow ("hosted on a single server"). The service answers
+// recommendation queries with any of the implemented methods (exact Tr,
+// landmark-approximate Tr, Katz, TwitterRank), reports dataset and
+// landmark-store statistics, and accepts follow/unfollow updates which it
+// maintains through the dynamic landmark-refresh machinery.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/katz"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+	"repro/internal/twitterrank"
+)
+
+// Server is the HTTP facade. It is safe for concurrent requests; updates
+// are serialized by the underlying dynamic.Manager.
+type Server struct {
+	mgr   *dynamic.Manager
+	vocab *topics.Vocabulary
+	beta  float64
+	cache *resultCache
+
+	mu      sync.Mutex
+	baseGen int // update-batch count the cached baselines were built at
+	katzRec ranking.Recommender
+	twrRec  ranking.Recommender
+}
+
+// New builds a server over a dynamic manager. beta is the Katz decay used
+// for the baseline. Results are served from a small LRU that updates
+// invalidate wholesale.
+func New(mgr *dynamic.Manager, beta float64) *Server {
+	return &Server{
+		mgr:   mgr,
+		vocab: mgr.Graph().Vocabulary(),
+		beta:  beta,
+		cache: newResultCache(4096),
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /health", s.handleHealth)
+	mux.HandleFunc("GET /topics", s.handleTopics)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /recommend", s.handleRecommend)
+	mux.HandleFunc("POST /updates", s.handleUpdates)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client hangup only
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleTopics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"topics": s.vocab.Names()})
+}
+
+// StatsResponse summarizes the served dataset and maintenance state.
+type StatsResponse struct {
+	Nodes        int     `json:"nodes"`
+	Edges        int     `json:"edges"`
+	AvgOutDegree float64 `json:"avg_out_degree"`
+	AvgInDegree  float64 `json:"avg_in_degree"`
+	MaxInDegree  int     `json:"max_in_degree"`
+	Batches      int     `json:"update_batches"`
+	Refreshes    int     `json:"landmark_refreshes"`
+	Stale        int     `json:"stale_landmarks"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.mgr.Graph()
+	st := graph.ComputeStats(g)
+	ms := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Nodes:        st.Nodes,
+		Edges:        st.Edges,
+		AvgOutDegree: st.AvgOut,
+		AvgInDegree:  st.AvgIn,
+		MaxInDegree:  st.MaxIn,
+		Batches:      ms.Batches,
+		Refreshes:    ms.Refreshes,
+		Stale:        ms.StaleNow,
+	})
+}
+
+// Recommendation is one entry of a recommendation response.
+type Recommendation struct {
+	User    uint32   `json:"user"`
+	Score   float64  `json:"score"`
+	Topics  []string `json:"topics"`
+	Follows int      `json:"followers"`
+}
+
+// RecommendResponse is the /recommend payload.
+type RecommendResponse struct {
+	Method  string           `json:"method"`
+	Topic   string           `json:"topic"`
+	TookUS  int64            `json:"took_us"`
+	Results []Recommendation `json:"results"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	userStr := q.Get("user")
+	uid, err := strconv.Atoi(userStr)
+	g := s.mgr.Graph()
+	if err != nil || uid < 0 || uid >= g.NumNodes() {
+		writeErr(w, http.StatusBadRequest, "bad user %q (want 0..%d)", userStr, g.NumNodes()-1)
+		return
+	}
+	t, ok := s.vocab.Lookup(q.Get("topic"))
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown topic %q", q.Get("topic"))
+		return
+	}
+	n := 10
+	if ns := q.Get("n"); ns != "" {
+		if n, err = strconv.Atoi(ns); err != nil || n < 1 || n > 1000 {
+			writeErr(w, http.StatusBadRequest, "bad n %q (want 1..1000)", ns)
+			return
+		}
+	}
+	method := q.Get("method")
+	if method == "" {
+		method = "landmark"
+	}
+
+	key := cacheKey{user: graph.NodeID(uid), topic: t, n: n, method: method}
+	start := time.Now()
+	scored, cached := s.cache.get(key)
+	if !cached {
+		switch method {
+		case "landmark":
+			scored, err = s.mgr.Recommend(graph.NodeID(uid), t, n)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, "landmark recommendation failed: %v", err)
+				return
+			}
+		case "tr":
+			scored = s.mgr.RecommendExact(graph.NodeID(uid), t, n)
+		case "katz", "twitterrank":
+			rec, err := s.baseline(method)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, "building %s: %v", method, err)
+				return
+			}
+			scored = rec.Recommend(graph.NodeID(uid), t, n)
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown method %q (tr, landmark, katz, twitterrank)", method)
+			return
+		}
+		s.cache.put(key, scored)
+	}
+	took := time.Since(start)
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+
+	resp := RecommendResponse{
+		Method: method,
+		Topic:  s.vocab.Name(t),
+		TookUS: took.Microseconds(),
+	}
+	for _, sc := range scored {
+		resp.Results = append(resp.Results, Recommendation{
+			User:    uint32(sc.Node),
+			Score:   sc.Score,
+			Topics:  splitTopics(s.vocab, g.NodeTopics(sc.Node)),
+			Follows: g.InDegree(sc.Node),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func splitTopics(v *topics.Vocabulary, s topics.Set) []string {
+	out := make([]string, 0, s.Len())
+	s.ForEach(func(t topics.ID) { out = append(out, v.Name(t)) })
+	return out
+}
+
+// baseline returns the cached Katz/TwitterRank recommender, rebuilding it
+// when updates changed the graph since it was built.
+func (s *Server) baseline(method string) (ranking.Recommender, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.mgr.Stats().Batches
+	if gen != s.baseGen {
+		s.katzRec, s.twrRec = nil, nil
+		s.baseGen = gen
+	}
+	switch method {
+	case "katz":
+		if s.katzRec == nil {
+			rec, err := katz.New(s.mgr.Graph(), s.beta, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.katzRec = rec
+		}
+		return s.katzRec, nil
+	default:
+		if s.twrRec == nil {
+			rec, err := twitterrank.New(twitterrank.InputFromProfiles(s.mgr.Graph()), twitterrank.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			s.twrRec = rec
+		}
+		return s.twrRec, nil
+	}
+}
+
+// UpdateRequest is the /updates payload: a batch of follow/unfollow
+// changes.
+type UpdateRequest struct {
+	Updates []UpdateItem `json:"updates"`
+}
+
+// UpdateItem is one change.
+type UpdateItem struct {
+	Src    uint32   `json:"src"`
+	Dst    uint32   `json:"dst"`
+	Topics []string `json:"topics"`
+	Remove bool     `json:"remove,omitempty"`
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	g := s.mgr.Graph()
+	batch := make([]dynamic.Update, 0, len(req.Updates))
+	for i, item := range req.Updates {
+		if int(item.Src) >= g.NumNodes() || int(item.Dst) >= g.NumNodes() {
+			writeErr(w, http.StatusBadRequest, "update %d references unknown user", i)
+			return
+		}
+		if item.Src == item.Dst {
+			writeErr(w, http.StatusBadRequest, "update %d is a self-follow", i)
+			return
+		}
+		lbl, err := s.vocab.SetOf(item.Topics...)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "update %d: %v", i, err)
+			return
+		}
+		if lbl.IsEmpty() && !item.Remove {
+			writeErr(w, http.StatusBadRequest, "update %d: a follow needs at least one topic", i)
+			return
+		}
+		batch = append(batch, dynamic.Update{
+			Edge: graph.Edge{Src: graph.NodeID(item.Src), Dst: graph.NodeID(item.Dst), Label: lbl},
+			Add:  !item.Remove,
+		})
+	}
+	if err := s.mgr.Apply(batch); err != nil {
+		writeErr(w, http.StatusInternalServerError, "applying updates: %v", err)
+		return
+	}
+	s.cache.invalidate()
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied":   len(batch),
+		"refreshes": st.Refreshes,
+		"stale":     st.StaleNow,
+	})
+}

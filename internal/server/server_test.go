@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/landmark"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
+	t.Helper()
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 600
+	cfg.Seed = 5
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 6, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := dynamic.NewManager(ds.Graph, lms, dynamic.Config{
+		Params: core.DefaultParams(), Sim: ds.Sim, StoreTopN: 100,
+		QueryDepth: 2, Strategy: dynamic.Lazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(mgr, core.DefaultParams().Beta).Handler())
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func getJSON(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		}
+	}
+}
+
+func TestHealthAndTopics(t *testing.T) {
+	srv, ds := testServer(t)
+	var health map[string]string
+	getJSON(t, srv.URL+"/health", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	var tp struct {
+		Topics []string `json:"topics"`
+	}
+	getJSON(t, srv.URL+"/topics", http.StatusOK, &tp)
+	if len(tp.Topics) != ds.Vocabulary().Len() {
+		t.Errorf("%d topics, want %d", len(tp.Topics), ds.Vocabulary().Len())
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, ds := testServer(t)
+	var st StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Nodes != ds.Graph.NumNodes() || st.Edges != ds.Graph.NumEdges() {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRecommendMethods(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, method := range []string{"landmark", "tr", "katz", "twitterrank"} {
+		var resp RecommendResponse
+		getJSON(t, fmt.Sprintf("%s/recommend?user=11&topic=technology&n=5&method=%s", srv.URL, method),
+			http.StatusOK, &resp)
+		if resp.Method != method {
+			t.Errorf("method echoed as %q", resp.Method)
+		}
+		if len(resp.Results) > 5 {
+			t.Errorf("%s returned %d results for n=5", method, len(resp.Results))
+		}
+		for _, rec := range resp.Results {
+			if rec.User == 11 {
+				t.Errorf("%s recommended the query user", method)
+			}
+		}
+	}
+	// Default method is landmark.
+	var resp RecommendResponse
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology", http.StatusOK, &resp)
+	if resp.Method != "landmark" {
+		t.Errorf("default method = %q", resp.Method)
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []string{
+		"/recommend?user=abc&topic=technology",
+		"/recommend?user=999999&topic=technology",
+		"/recommend?user=1&topic=nope",
+		"/recommend?user=1&topic=technology&n=0",
+		"/recommend?user=1&topic=technology&n=99999",
+		"/recommend?user=1&topic=technology&method=magic",
+	}
+	for _, c := range cases {
+		var e map[string]string
+		getJSON(t, srv.URL+c, http.StatusBadRequest, &e)
+		if e["error"] == "" {
+			t.Errorf("%s: missing error body", c)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, wantCode int, out any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUpdatesFlow(t *testing.T) {
+	srv, ds := testServer(t)
+	var before StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &before)
+
+	// A new follow appears...
+	var applied map[string]any
+	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+		{Src: 1, Dst: 500, Topics: []string{"technology"}},
+	}}, http.StatusOK, &applied)
+	if applied["applied"].(float64) != 1 {
+		t.Errorf("applied = %v", applied)
+	}
+	var after StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &after)
+	if after.Edges != before.Edges+1 || after.Batches != before.Batches+1 {
+		t.Errorf("stats before %+v after %+v", before, after)
+	}
+	// ...and is immediately visible to exact recommendations from user 1.
+	var resp RecommendResponse
+	getJSON(t, srv.URL+"/recommend?user=1&topic=technology&method=tr&n=600", http.StatusOK, &resp)
+
+	// Baselines rebuild after updates without error.
+	getJSON(t, srv.URL+"/recommend?user=1&topic=technology&method=katz&n=5", http.StatusOK, &resp)
+
+	// Then the follow is removed again.
+	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+		{Src: 1, Dst: 500, Remove: true},
+	}}, http.StatusOK, nil)
+	var final StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &final)
+	if final.Edges != before.Edges {
+		t.Errorf("edges = %d, want %d after add+remove", final.Edges, before.Edges)
+	}
+	_ = ds
+}
+
+func TestUpdatesValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []UpdateRequest{
+		{},
+		{Updates: []UpdateItem{{Src: 1, Dst: 1, Topics: []string{"technology"}}}},
+		{Updates: []UpdateItem{{Src: 1, Dst: 999999, Topics: []string{"technology"}}}},
+		{Updates: []UpdateItem{{Src: 1, Dst: 2, Topics: []string{"nope"}}}},
+		{Updates: []UpdateItem{{Src: 1, Dst: 2}}}, // follow without topics
+	}
+	for i, c := range cases {
+		postJSON(t, srv.URL+"/updates", c, http.StatusBadRequest, nil)
+		_ = i
+	}
+	// Non-JSON body.
+	resp, err := http.Post(srv.URL+"/updates", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,93 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topics"
+)
+
+func corpus(t *testing.T, seed uint64) (*Corpus, []topics.Set) {
+	t.Helper()
+	vocab := topics.MustVocabulary([]string{"alpha", "beta", "gamma"})
+	profiles := []topics.Set{
+		topics.NewSet(0),
+		topics.NewSet(1, 2),
+		topics.NewSet(2),
+		0, // no profile: posts drawn from random topics
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	return Generate(vocab, profiles, cfg), profiles
+}
+
+func TestGenerateShape(t *testing.T) {
+	c, profiles := corpus(t, 1)
+	if c.NumUsers() != len(profiles) {
+		t.Fatalf("users = %d, want %d", c.NumUsers(), len(profiles))
+	}
+	cfg := DefaultConfig()
+	for u, posts := range c.Posts {
+		if len(posts) < cfg.PostsPerUserMin || len(posts) > cfg.PostsPerUserMax {
+			t.Fatalf("user %d has %d posts, want [%d,%d]", u, len(posts), cfg.PostsPerUserMin, cfg.PostsPerUserMax)
+		}
+		for _, p := range posts {
+			if len(p.Tokens) < cfg.WordsPerPostMin || len(p.Tokens) > cfg.WordsPerPostMax {
+				t.Fatalf("post length %d out of bounds", len(p.Tokens))
+			}
+		}
+	}
+}
+
+func TestPostsReflectProfile(t *testing.T) {
+	c, profiles := corpus(t, 2)
+	// User 0 publishes only on alpha: every post's truth must be alpha.
+	for _, p := range c.Posts[0] {
+		if !profiles[0].Has(p.Truth) {
+			t.Fatalf("user 0 post about topic %d outside profile", p.Truth)
+		}
+	}
+	// Alpha keywords must dominate the topical tokens of user 0.
+	counts := map[string]int{}
+	for _, p := range c.Posts[0] {
+		for _, tok := range p.Tokens {
+			switch {
+			case strings.HasPrefix(tok, "alpha_"):
+				counts["alpha"]++
+			case strings.HasPrefix(tok, "beta_"), strings.HasPrefix(tok, "gamma_"):
+				counts["other"]++
+			}
+		}
+	}
+	if counts["alpha"] <= counts["other"]*3 {
+		t.Errorf("alpha keywords should dominate: %v", counts)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := corpus(t, 7)
+	b, _ := corpus(t, 7)
+	for u := range a.Posts {
+		if len(a.Posts[u]) != len(b.Posts[u]) {
+			t.Fatal("same seed must give identical corpora")
+		}
+		for i := range a.Posts[u] {
+			if strings.Join(a.Posts[u][i].Tokens, " ") != strings.Join(b.Posts[u][i].Tokens, " ") {
+				t.Fatal("same seed must give identical posts")
+			}
+		}
+	}
+}
+
+func TestKeywordsDistinctPerTopic(t *testing.T) {
+	c, _ := corpus(t, 3)
+	seen := map[string]topics.ID{}
+	for ti := 0; ti < c.Vocabulary().Len(); ti++ {
+		for _, kw := range c.Keywords(topics.ID(ti)) {
+			if prev, dup := seen[kw]; dup {
+				t.Fatalf("keyword %q shared by topics %d and %d", kw, prev, ti)
+			}
+			seen[kw] = topics.ID(ti)
+		}
+	}
+}

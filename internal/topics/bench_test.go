@@ -1,0 +1,26 @@
+package topics
+
+import "testing"
+
+func BenchmarkWuPalmer(b *testing.B) {
+	tax := WebTaxonomy()
+	n := tax.Vocabulary().Len()
+	for i := 0; i < b.N; i++ {
+		tax.WuPalmer(ID(i%n), ID((i*7)%n))
+	}
+}
+
+func BenchmarkSimMatrixBuild(b *testing.B) {
+	tax := WebTaxonomy()
+	for i := 0; i < b.N; i++ {
+		tax.SimMatrix()
+	}
+}
+
+func BenchmarkMaxSim(b *testing.B) {
+	m := WebTaxonomy().SimMatrix()
+	s := NewSet(1, 5, 9, 14)
+	for i := 0; i < b.N; i++ {
+		m.MaxSim(s, ID(i%18))
+	}
+}

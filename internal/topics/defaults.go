@@ -1,0 +1,182 @@
+package topics
+
+import "math"
+
+// WebTopicNames are the 18 standard web-document topics used for the
+// Twitter dataset, modeled on the OpenCalais document-categorization
+// vocabulary the paper uses.
+var WebTopicNames = []string{
+	"business", "finance", "entertainment", "sports", "leisure",
+	"hospitality", "technology", "science", "environment", "health",
+	"education", "social", "politics", "law", "religion",
+	"war", "weather", "humaninterest",
+}
+
+// WebTaxonomy builds the taxonomy tree for the web topics. The shape gives
+// intuitive Wu-Palmer values: technology~science are close, social~politics
+// are close, technology~religion are far.
+func WebTaxonomy() *Taxonomy {
+	v := MustVocabulary(WebTopicNames)
+	return NewTaxonomyBuilder(v).
+		Category("economy", "root").
+		Topic("business", "economy").
+		Topic("finance", "economy").
+		Category("lifestyle", "root").
+		Topic("entertainment", "lifestyle").
+		Topic("sports", "lifestyle").
+		Topic("leisure", "lifestyle").
+		Topic("hospitality", "lifestyle").
+		Category("scitech", "root").
+		Topic("technology", "scitech").
+		Topic("science", "scitech").
+		Category("nature", "scitech").
+		Topic("environment", "nature").
+		Topic("weather", "nature").
+		Category("society", "root").
+		Topic("health", "society").
+		Topic("education", "society").
+		Topic("social", "society").
+		Category("civic", "society").
+		Topic("politics", "civic").
+		Topic("law", "civic").
+		Topic("religion", "civic").
+		Topic("war", "civic").
+		Topic("humaninterest", "society").
+		MustBuild()
+}
+
+// CSTopicNames are the computer-science research areas used for the DBLP
+// dataset, modeled on the Singapore conference classification the paper
+// uses to label conferences.
+var CSTopicNames = []string{
+	"databases", "datamining", "ir", "ai", "ml", "nlp",
+	"vision", "graphics", "hci", "networks", "security", "os",
+	"architecture", "softeng", "theory", "algorithms", "bioinformatics",
+	"distributed",
+}
+
+// CSTaxonomy builds the taxonomy tree for the CS research areas.
+func CSTaxonomy() *Taxonomy {
+	v := MustVocabulary(CSTopicNames)
+	return NewTaxonomyBuilder(v).
+		Category("data", "root").
+		Topic("databases", "data").
+		Topic("datamining", "data").
+		Topic("ir", "data").
+		Category("intelligence", "root").
+		Topic("ai", "intelligence").
+		Topic("ml", "intelligence").
+		Topic("nlp", "intelligence").
+		Topic("vision", "intelligence").
+		Category("interaction", "root").
+		Topic("graphics", "interaction").
+		Topic("hci", "interaction").
+		Category("systems", "root").
+		Topic("networks", "systems").
+		Topic("security", "systems").
+		Topic("os", "systems").
+		Topic("architecture", "systems").
+		Topic("distributed", "systems").
+		Category("foundations", "root").
+		Topic("theory", "foundations").
+		Topic("algorithms", "foundations").
+		Category("applications", "root").
+		Topic("softeng", "applications").
+		Topic("bioinformatics", "applications").
+		MustBuild()
+}
+
+// FlatTaxonomy places every topic of a vocabulary directly under the
+// root: Wu-Palmer degenerates to 1 for identical topics and 0.5 for
+// distinct ones. It is the fallback when a stored graph's vocabulary
+// matches no known taxonomy.
+func FlatTaxonomy(v *Vocabulary) *Taxonomy {
+	b := NewTaxonomyBuilder(v)
+	for _, n := range v.Names() {
+		b.Topic(n, "root")
+	}
+	return b.MustBuild()
+}
+
+// TaxonomyFor resolves the taxonomy matching a vocabulary: the default
+// web or CS taxonomy when the names match, a flat one otherwise.
+func TaxonomyFor(v *Vocabulary) *Taxonomy {
+	if sameNames(v.Names(), WebTopicNames) {
+		return WebTaxonomy()
+	}
+	if sameNames(v.Names(), CSTopicNames) {
+		return CSTaxonomy()
+	}
+	return FlatTaxonomy(v)
+}
+
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Popularity returns a biased (Zipf-like, exponent s) popularity weight per
+// topic, normalized to sum to 1. The paper observes a strongly biased
+// distribution of edges per topic (Figure 3, matching the Yahoo! Directory
+// bias); the generator uses these weights to reproduce that skew. Topic 0
+// is the most popular. The paper's running examples place technology among
+// the most popular topics and social among the least, so weights are
+// assigned by a fixed popularity order rather than by id order.
+func Popularity(v *Vocabulary, s float64) []float64 {
+	n := v.Len()
+	w := make([]float64, n)
+	// Rank topics: an explicit order for the known vocabularies, id order
+	// otherwise.
+	order := popularityOrder(v)
+	sum := 0.0
+	for rank, id := range order {
+		w[id] = 1 / math.Pow(float64(rank+1), s)
+		sum += w[id]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// popularityOrder returns topic ids from most to least popular.
+func popularityOrder(v *Vocabulary) []ID {
+	// For the web vocabulary follow the paper's observations: technology is
+	// the most popular topic used in Figure 9, leisure has medium
+	// popularity, social is infrequent.
+	if id, ok := v.Lookup("technology"); ok {
+		names := []string{
+			"technology", "entertainment", "sports", "business", "politics",
+			"health", "science", "finance", "leisure", "education",
+			"hospitality", "environment", "law", "weather", "humaninterest",
+			"war", "religion", "social",
+		}
+		order := make([]ID, 0, v.Len())
+		seen := make(map[ID]bool)
+		for _, n := range names {
+			if t, ok := v.Lookup(n); ok && !seen[t] {
+				order = append(order, t)
+				seen[t] = true
+			}
+		}
+		for t := 0; t < v.Len(); t++ {
+			if !seen[ID(t)] {
+				order = append(order, ID(t))
+			}
+		}
+		_ = id
+		return order
+	}
+	order := make([]ID, v.Len())
+	for i := range order {
+		order[i] = ID(i)
+	}
+	return order
+}

@@ -1,0 +1,177 @@
+// Package topics provides the topic vocabulary, topic sets, the topic
+// taxonomy and the Wu-Palmer semantic similarity used to label the social
+// graph and to score edge relevance.
+//
+// The paper labels nodes and edges with topics drawn from a small
+// vocabulary (18 standard OpenCalais web topics for the Twitter dataset, a
+// CS classification for DBLP) and measures topic-to-topic similarity with
+// Wu-Palmer over WordNet. Here the vocabulary is explicit and the taxonomy
+// is an explicit tree, so Wu-Palmer is computed exactly.
+package topics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// ID identifies a topic within a Vocabulary. Vocabularies hold at most
+// MaxTopics topics so that a Set fits in a 32-bit mask.
+type ID uint8
+
+// MaxTopics is the maximum number of topics in a vocabulary.
+const MaxTopics = 32
+
+// None marks the absence of a topic.
+const None ID = 0xFF
+
+// Set is a bitmask of topics. The bit for topic id t is 1<<t.
+type Set uint32
+
+// NewSet builds a Set from the given topic ids.
+func NewSet(ids ...ID) Set {
+	var s Set
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Add returns s with topic t added.
+func (s Set) Add(t ID) Set { return s | 1<<t }
+
+// Remove returns s with topic t removed.
+func (s Set) Remove(t ID) Set { return s &^ (1 << t) }
+
+// Has reports whether topic t is in the set.
+func (s Set) Has(t ID) bool { return s&(1<<t) != 0 }
+
+// Len returns the number of topics in the set.
+func (s Set) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// IsEmpty reports whether the set has no topics.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Union returns the union of s and o.
+func (s Set) Union(o Set) Set { return s | o }
+
+// Intersect returns the intersection of s and o.
+func (s Set) Intersect(o Set) Set { return s & o }
+
+// Topics returns the ids in the set in increasing order.
+func (s Set) Topics() []ID {
+	if s == 0 {
+		return nil
+	}
+	out := make([]ID, 0, s.Len())
+	for m := uint32(s); m != 0; m &= m - 1 {
+		out = append(out, ID(bits.TrailingZeros32(m)))
+	}
+	return out
+}
+
+// ForEach calls fn for every topic in the set, in increasing order.
+func (s Set) ForEach(fn func(ID)) {
+	for m := uint32(s); m != 0; m &= m - 1 {
+		fn(ID(bits.TrailingZeros32(m)))
+	}
+}
+
+// Vocabulary is an immutable, ordered list of topic names.
+type Vocabulary struct {
+	names []string
+	index map[string]ID
+}
+
+// NewVocabulary builds a vocabulary from topic names. Names must be unique,
+// non-empty, and at most MaxTopics many.
+func NewVocabulary(names []string) (*Vocabulary, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("topics: empty vocabulary")
+	}
+	if len(names) > MaxTopics {
+		return nil, fmt.Errorf("topics: %d topics exceeds maximum %d", len(names), MaxTopics)
+	}
+	v := &Vocabulary{
+		names: make([]string, len(names)),
+		index: make(map[string]ID, len(names)),
+	}
+	for i, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" {
+			return nil, fmt.Errorf("topics: empty topic name at position %d", i)
+		}
+		if _, dup := v.index[n]; dup {
+			return nil, fmt.Errorf("topics: duplicate topic %q", n)
+		}
+		v.names[i] = n
+		v.index[n] = ID(i)
+	}
+	return v, nil
+}
+
+// MustVocabulary is NewVocabulary that panics on error; for fixed,
+// programmer-defined vocabularies.
+func MustVocabulary(names []string) *Vocabulary {
+	v, err := NewVocabulary(names)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of topics.
+func (v *Vocabulary) Len() int { return len(v.names) }
+
+// Name returns the name of topic t.
+func (v *Vocabulary) Name(t ID) string {
+	if int(t) >= len(v.names) {
+		return fmt.Sprintf("topic#%d", t)
+	}
+	return v.names[t]
+}
+
+// Names returns a copy of all topic names in id order.
+func (v *Vocabulary) Names() []string {
+	out := make([]string, len(v.names))
+	copy(out, v.names)
+	return out
+}
+
+// Lookup returns the id of the named topic.
+func (v *Vocabulary) Lookup(name string) (ID, bool) {
+	id, ok := v.index[strings.ToLower(strings.TrimSpace(name))]
+	return id, ok
+}
+
+// MustLookup returns the id of the named topic and panics if absent.
+func (v *Vocabulary) MustLookup(name string) ID {
+	id, ok := v.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("topics: unknown topic %q", name))
+	}
+	return id
+}
+
+// SetOf builds a Set from topic names; unknown names are reported as an
+// error.
+func (v *Vocabulary) SetOf(names ...string) (Set, error) {
+	var s Set
+	for _, n := range names {
+		id, ok := v.Lookup(n)
+		if !ok {
+			return 0, fmt.Errorf("topics: unknown topic %q", n)
+		}
+		s = s.Add(id)
+	}
+	return s, nil
+}
+
+// FormatSet renders a set as a sorted, comma-separated list of names.
+func (v *Vocabulary) FormatSet(s Set) string {
+	names := make([]string, 0, s.Len())
+	s.ForEach(func(t ID) { names = append(names, v.Name(t)) })
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

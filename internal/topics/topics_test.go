@@ -1,0 +1,142 @@
+package topics
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVocabulary(t *testing.T) {
+	v, err := NewVocabulary([]string{"Alpha", " beta ", "gamma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", v.Len())
+	}
+	if got := v.Name(0); got != "alpha" {
+		t.Errorf("names must be normalized to lowercase/trimmed: %q", got)
+	}
+	if id, ok := v.Lookup("BETA"); !ok || id != 1 {
+		t.Errorf("Lookup is case-insensitive: got (%d,%v)", id, ok)
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Error("Lookup of unknown topic must fail")
+	}
+}
+
+func TestNewVocabularyErrors(t *testing.T) {
+	cases := map[string][]string{
+		"empty list":   {},
+		"empty name":   {"a", " "},
+		"duplicate":    {"a", "b", "A"},
+		"over maximum": make([]string, MaxTopics+1),
+	}
+	for i := range cases["over maximum"] {
+		cases["over maximum"][i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	for name, in := range cases {
+		if _, err := NewVocabulary(in); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	v := MustVocabulary([]string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup on unknown topic must panic")
+		}
+	}()
+	v.MustLookup("zzz")
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 7, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Has(3) || !s.Has(7) || s.Has(4) {
+		t.Error("Has wrong")
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Len() != 1 {
+		t.Error("Remove wrong")
+	}
+	if !s.Remove(7).IsEmpty() {
+		t.Error("IsEmpty wrong")
+	}
+	if got := NewSet(1, 2).Union(NewSet(2, 3)); got.Len() != 3 {
+		t.Errorf("Union wrong: %v", got.Topics())
+	}
+	if got := NewSet(1, 2).Intersect(NewSet(2, 3)); got.Len() != 1 || !got.Has(2) {
+		t.Errorf("Intersect wrong: %v", got.Topics())
+	}
+}
+
+func TestSetTopicsOrdered(t *testing.T) {
+	s := NewSet(9, 0, 17, 4)
+	ts := s.Topics()
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i] < ts[j] }) {
+		t.Errorf("Topics must be ascending: %v", ts)
+	}
+	var visited []ID
+	s.ForEach(func(id ID) { visited = append(visited, id) })
+	if len(visited) != len(ts) {
+		t.Fatalf("ForEach visited %d, want %d", len(visited), len(ts))
+	}
+	for i := range ts {
+		if ts[i] != visited[i] {
+			t.Errorf("ForEach order differs at %d", i)
+		}
+	}
+}
+
+// TestSetProperties checks algebraic laws with testing/quick.
+func TestSetProperties(t *testing.T) {
+	masked := func(x uint32) Set { return Set(x) }
+	commutative := func(a, b uint32) bool {
+		return masked(a).Union(masked(b)) == masked(b).Union(masked(a)) &&
+			masked(a).Intersect(masked(b)) == masked(b).Intersect(masked(a))
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	lenConsistent := func(x uint32) bool {
+		s := masked(x)
+		return s.Len() == len(s.Topics())
+	}
+	if err := quick.Check(lenConsistent, nil); err != nil {
+		t.Error(err)
+	}
+	addRemove := func(x uint32, id8 uint8) bool {
+		id := ID(id8 % 32)
+		s := masked(x)
+		return s.Add(id).Has(id) && !s.Remove(id).Has(id)
+	}
+	if err := quick.Check(addRemove, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOfAndFormat(t *testing.T) {
+	v := MustVocabulary([]string{"tech", "art", "food"})
+	s, err := v.SetOf("food", "tech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.FormatSet(s); got != "food,tech" {
+		t.Errorf("FormatSet = %q", got)
+	}
+	if _, err := v.SetOf("nope"); err == nil {
+		t.Error("SetOf with unknown topic must error")
+	}
+}
+
+func TestNameOutOfRange(t *testing.T) {
+	v := MustVocabulary([]string{"a"})
+	if got := v.Name(200); got == "" {
+		t.Error("out-of-range Name should return a placeholder, not empty")
+	}
+}

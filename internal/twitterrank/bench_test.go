@@ -1,0 +1,26 @@
+package twitterrank
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/topics"
+)
+
+func BenchmarkRankPerTopic(b *testing.B) {
+	cfg := gen.DefaultTwitterConfig()
+	cfg.Nodes = 3000
+	ds, err := gen.Twitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := InputFromProfiles(ds.Graph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := New(in, DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Rank(topics.ID(i % 18))
+	}
+}

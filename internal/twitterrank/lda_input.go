@@ -1,0 +1,91 @@
+package twitterrank
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lda"
+	"repro/internal/textgen"
+	"repro/internal/topics"
+)
+
+// InputFromLDA builds the user-topic matrix the way Weng et al. describe:
+// run LDA over each user's aggregated posts, then align the latent topics
+// with the labeled vocabulary so that per-topic queries address the right
+// rank vector.
+//
+// Alignment: latent topic k maps to the vocabulary topic whose keyword
+// pool captures the most of φ_k's probability mass; a user's DT row is
+// the sum of θ_u over the latent topics mapped to each vocabulary topic.
+// Tweet counts |τ_u| are the user's actual post counts.
+func InputFromLDA(g *graph.Graph, corpus *textgen.Corpus, cfg lda.Config) (*Input, error) {
+	if corpus.NumUsers() != g.NumNodes() {
+		return nil, fmt.Errorf("twitterrank: corpus covers %d users, graph has %d", corpus.NumUsers(), g.NumNodes())
+	}
+	docs := make([][]string, corpus.NumUsers())
+	for u, posts := range corpus.Posts {
+		var doc []string
+		for _, p := range posts {
+			doc = append(doc, p.Tokens...)
+		}
+		docs[u] = doc
+	}
+	model, err := lda.Fit(docs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Keyword ownership per vocabulary topic.
+	vocab := g.Vocabulary()
+	T := vocab.Len()
+	owner := make(map[string]topics.ID)
+	for t := 0; t < T; t++ {
+		for _, kw := range corpus.Keywords(topics.ID(t)) {
+			owner[kw] = topics.ID(t)
+		}
+	}
+	// Map each latent topic to the vocabulary topic collecting the most
+	// of its top-word mass.
+	mapTo := make([]topics.ID, model.K())
+	for k := 0; k < model.K(); k++ {
+		votes := make([]float64, T)
+		phi := model.TopicWords(k)
+		for _, w := range model.TopWords(k, 25) {
+			if t, ok := owner[w]; ok {
+				// Weight the vote by the word's probability.
+				votes[t] += phi[wordIndex(model, w)]
+			}
+		}
+		best := topics.ID(0)
+		for t := 1; t < T; t++ {
+			if votes[t] > votes[best] {
+				best = topics.ID(t)
+			}
+		}
+		mapTo[k] = best
+	}
+
+	in := &Input{
+		G:         g,
+		TopicDist: make([]float64, g.NumNodes()*T),
+		Tweets:    make([]float64, g.NumNodes()),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		in.Tweets[u] = float64(len(corpus.Posts[u]))
+		if len(docs[u]) == 0 {
+			continue
+		}
+		theta := model.DocTopics(u)
+		row := in.TopicDist[u*T : (u+1)*T]
+		for k, p := range theta {
+			row[mapTo[k]] += p
+		}
+	}
+	return in, nil
+}
+
+// wordIndex finds a word's id in the model vocabulary; TopWords only
+// returns known words, so the lookup always succeeds.
+func wordIndex(m *lda.Model, w string) int {
+	return m.WordID(w)
+}

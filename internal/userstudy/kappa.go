@@ -1,0 +1,115 @@
+package userstudy
+
+// FleissKappa measures inter-rater agreement for a panel that assigned
+// categorical marks to a set of items: 1 means perfect agreement, 0 means
+// exactly the agreement expected by chance, negative means systematic
+// disagreement. User-study reports conventionally quote it so readers can
+// judge how noisy the panel was — the paper's observation that raters
+// fall back to middle marks on ambiguous topics shows up as low kappa on
+// those topics.
+//
+// ratings[i][c] counts how many raters assigned category c to item i.
+// Every item must have the same number of ratings n ≥ 2.
+func FleissKappa(ratings [][]int) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	nItems := len(ratings)
+	nCats := len(ratings[0])
+	n := 0
+	for _, c := range ratings[0] {
+		n += c
+	}
+	if n < 2 {
+		return 0
+	}
+
+	// Per-item agreement P_i and per-category marginals p_c.
+	sumPi := 0.0
+	pc := make([]float64, nCats)
+	for _, row := range ratings {
+		sq := 0
+		for c, cnt := range row {
+			sq += cnt * cnt
+			pc[c] += float64(cnt)
+		}
+		sumPi += float64(sq-n) / float64(n*(n-1))
+	}
+	pBar := sumPi / float64(nItems)
+	peBar := 0.0
+	total := float64(nItems * n)
+	for _, c := range pc {
+		p := c / total
+		peBar += p * p
+	}
+	if peBar == 1 {
+		return 1 // every rating identical everywhere
+	}
+	return (pBar - peBar) / (1 - peBar)
+}
+
+// RatingMatrix collects a panel's marks for a set of (account, topic)
+// items into the Fleiss input: one row per item, five columns for the
+// 1..5 marks.
+type RatingMatrix struct {
+	rows map[itemKey][]int
+}
+
+type itemKey struct {
+	account uint32
+	topic   uint8
+}
+
+// NewRatingMatrix creates an empty collector.
+func NewRatingMatrix() *RatingMatrix {
+	return &RatingMatrix{rows: make(map[itemKey][]int)}
+}
+
+// Add records one rater's mark (1..5) for an item.
+func (m *RatingMatrix) Add(account uint32, topic uint8, mark int) {
+	if mark < 1 || mark > 5 {
+		return
+	}
+	k := itemKey{account: account, topic: topic}
+	row := m.rows[k]
+	if row == nil {
+		row = make([]int, 5)
+		m.rows[k] = row
+	}
+	row[mark-1]++
+}
+
+// Kappa computes Fleiss' kappa over the collected items, skipping items
+// whose rating count differs from the majority (all-equal counts are the
+// normal case: every rater rates every item).
+func (m *RatingMatrix) Kappa() float64 {
+	if len(m.rows) == 0 {
+		return 0
+	}
+	// Find the modal rating count.
+	counts := map[int]int{}
+	for _, row := range m.rows {
+		n := 0
+		for _, c := range row {
+			n += c
+		}
+		counts[n]++
+	}
+	modal, best := 0, 0
+	for n, k := range counts {
+		if k > best {
+			modal, best = n, k
+		}
+	}
+	var ratings [][]int
+	for _, row := range m.rows {
+		n := 0
+		for _, c := range row {
+			n += c
+		}
+		if n == modal {
+			ratings = append(ratings, row)
+		}
+	}
+	return FleissKappa(ratings)
+}

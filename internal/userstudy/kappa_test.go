@@ -1,0 +1,88 @@
+package userstudy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+func TestFleissKappaKnownCases(t *testing.T) {
+	// Perfect agreement: every item unanimously rated.
+	perfect := [][]int{
+		{5, 0, 0, 0, 0},
+		{0, 0, 5, 0, 0},
+		{0, 0, 0, 0, 5},
+	}
+	if k := FleissKappa(perfect); math.Abs(k-1) > 1e-12 {
+		t.Errorf("perfect agreement kappa = %g, want 1", k)
+	}
+	// The classic Fleiss (1971) example value: 10 items, 14 raters,
+	// 5 categories, kappa ≈ 0.21 — use a simpler hand-checkable case:
+	// two items, two raters, complete disagreement between items but
+	// agreement within... kappa for
+	//   item1: [2,0], item2: [0,2] → P_i = 1 each, p = (0.5, 0.5),
+	//   Pe = 0.5 → kappa = (1-0.5)/(1-0.5) = 1.
+	within := [][]int{{2, 0}, {0, 2}}
+	if k := FleissKappa(within); math.Abs(k-1) > 1e-12 {
+		t.Errorf("within-item agreement kappa = %g, want 1", k)
+	}
+	// Raters split on every item: P_i = 0.
+	//   items: [1,1] each → Pbar = 0, Pe = 0.5 → kappa = -1.
+	split := [][]int{{1, 1}, {1, 1}}
+	if k := FleissKappa(split); math.Abs(k+1) > 1e-12 {
+		t.Errorf("split kappa = %g, want -1", k)
+	}
+	// Degenerate inputs.
+	if FleissKappa(nil) != 0 {
+		t.Error("empty input kappa must be 0")
+	}
+	if FleissKappa([][]int{{1, 0}}) != 0 {
+		t.Error("single-rater kappa must be 0")
+	}
+	// All mass on one category everywhere: pe = 1 → defined as 1.
+	if k := FleissKappa([][]int{{3, 0}, {3, 0}}); k != 1 {
+		t.Errorf("uniform-category kappa = %g, want 1", k)
+	}
+}
+
+func TestRatingMatrix(t *testing.T) {
+	m := NewRatingMatrix()
+	// Two items, three raters each, unanimous.
+	for r := 0; r < 3; r++ {
+		m.Add(1, 0, 5)
+		m.Add(2, 0, 1)
+	}
+	if k := m.Kappa(); math.Abs(k-1) > 1e-12 {
+		t.Errorf("kappa = %g, want 1", k)
+	}
+	// Out-of-range marks are ignored.
+	m.Add(1, 0, 0)
+	m.Add(1, 0, 6)
+	if k := m.Kappa(); math.Abs(k-1) > 1e-12 {
+		t.Errorf("kappa after junk = %g, want 1", k)
+	}
+	if NewRatingMatrix().Kappa() != 0 {
+		t.Error("empty matrix kappa must be 0")
+	}
+}
+
+func TestRunReportsKappa(t *testing.T) {
+	rec := fixedRec{name: "r", list: []ranking.Scored{{Node: 1, Score: 1}, {Node: 2, Score: 0.9}}}
+	oracle := fixedOracle{1: 1, 2: 0}
+	queries := []Query{{User: 0, Topic: 0}}
+	// Near-noiseless panel: raters agree → high kappa.
+	crisp := Run(Panel{Raters: 40, Noise: 0.05, Seed: 4}, oracle,
+		[]ranking.Recommender{rec}, queries, 2, nil)[0]
+	// Coin-flip doubtful panel: marks split between 2 and 3 → low kappa.
+	fuzzy := Run(Panel{Raters: 40, Noise: 0.05, Seed: 4,
+		Doubt: func(topics.ID) float64 { return 1 }}, oracle,
+		[]ranking.Recommender{rec}, queries, 2, nil)[0]
+	if crisp.Kappa < 0.8 {
+		t.Errorf("crisp panel kappa = %.2f, want high", crisp.Kappa)
+	}
+	if fuzzy.Kappa > crisp.Kappa-0.3 {
+		t.Errorf("doubtful panel kappa %.2f should be far below crisp %.2f", fuzzy.Kappa, crisp.Kappa)
+	}
+}

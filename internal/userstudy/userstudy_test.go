@@ -1,0 +1,150 @@
+package userstudy
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// fixedRec recommends a fixed list regardless of the query.
+type fixedRec struct {
+	name string
+	list []ranking.Scored
+}
+
+func (f fixedRec) Name() string { return f.name }
+func (f fixedRec) ScoreCandidates(_ graph.NodeID, _ topics.ID, cands []graph.NodeID) []float64 {
+	return make([]float64, len(cands))
+}
+func (f fixedRec) Recommend(_ graph.NodeID, _ topics.ID, n int) []ranking.Scored {
+	if n > len(f.list) {
+		n = len(f.list)
+	}
+	return f.list[:n]
+}
+
+// fixedOracle maps accounts to relevances.
+type fixedOracle map[graph.NodeID]float64
+
+func (o fixedOracle) Relevance(_, account graph.NodeID, _ topics.ID) float64 {
+	return o[account]
+}
+
+func TestRunSeparatesGoodFromBad(t *testing.T) {
+	good := fixedRec{name: "good", list: []ranking.Scored{{Node: 1, Score: 1}, {Node: 2, Score: 0.9}, {Node: 3, Score: 0.8}}}
+	bad := fixedRec{name: "bad", list: []ranking.Scored{{Node: 7, Score: 1}, {Node: 8, Score: 0.9}, {Node: 9, Score: 0.8}}}
+	oracle := fixedOracle{1: 1, 2: 0.95, 3: 0.9, 7: 0.05, 8: 0, 9: 0.1}
+	panel := Panel{Raters: 20, Noise: 0.3, Seed: 1}
+	queries := []Query{{User: 0, Topic: 0}, {User: 5, Topic: 0}}
+	res := Run(panel, oracle, []ranking.Recommender{good, bad}, queries, 3, nil)
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	g, b := res[0], res[1]
+	if g.Avg <= b.Avg {
+		t.Errorf("good avg %.2f must beat bad avg %.2f", g.Avg, b.Avg)
+	}
+	if g.Avg < 4 || b.Avg > 2.5 {
+		t.Errorf("marks not anchored: good %.2f bad %.2f", g.Avg, b.Avg)
+	}
+	if g.BestShare != 1 || b.BestShare != 0 {
+		t.Errorf("best share: good %.2f bad %.2f", g.BestShare, b.BestShare)
+	}
+	if g.HighMarks <= b.HighMarks {
+		t.Error("good must collect more 4/5 marks")
+	}
+	if g.Marks != 2*3*20 {
+		t.Errorf("marks = %d, want 120", g.Marks)
+	}
+}
+
+func TestDoubtCompressesMarks(t *testing.T) {
+	rec := fixedRec{name: "r", list: []ranking.Scored{{Node: 1, Score: 1}}}
+	oracle := fixedOracle{1: 1}
+	certain := Panel{Raters: 200, Noise: 0.2, Seed: 2}
+	doubting := Panel{Raters: 200, Noise: 0.2, Seed: 2, Doubt: func(topics.ID) float64 { return 1 }}
+	queries := []Query{{User: 0, Topic: 0}}
+	a := Run(certain, oracle, []ranking.Recommender{rec}, queries, 1, nil)[0]
+	d := Run(doubting, oracle, []ranking.Recommender{rec}, queries, 1, nil)[0]
+	if a.Avg < 4.5 {
+		t.Errorf("certain raters should give ~5: %.2f", a.Avg)
+	}
+	if d.Avg < 2 || d.Avg > 3 {
+		t.Errorf("doubtful raters must give 2..3: %.2f", d.Avg)
+	}
+}
+
+func TestAcceptFilter(t *testing.T) {
+	rec := fixedRec{name: "r", list: []ranking.Scored{
+		{Node: 1, Score: 1}, {Node: 2, Score: 0.9}, {Node: 3, Score: 0.8}, {Node: 4, Score: 0.7},
+	}}
+	oracle := fixedOracle{1: 1, 2: 1, 3: 0, 4: 1}
+	panel := Panel{Raters: 10, Noise: 0.1, Seed: 3}
+	queries := []Query{{User: 0, Topic: 0}}
+	res := Run(panel, oracle, []ranking.Recommender{rec}, queries, 2,
+		func(v graph.NodeID) bool { return v != 1 })
+	// Accepted top-2 are nodes 2 and 3 (1 filtered); with 3 rated high and
+	// 3 rated low the average sits between.
+	if res[0].Marks != 2*10 {
+		t.Errorf("marks = %d, want 20", res[0].Marks)
+	}
+}
+
+func TestTopicOracleOrdering(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 9)
+	auth := authority.Compute(ds.Graph)
+	o := &TopicOracle{G: ds.Graph, Auth: auth, Sim: ds.Sim}
+	// An account publishing on the queried topic must beat one that does
+	// not (same popularity scale).
+	var onTopic, offTopic graph.NodeID
+	found := 0
+	for u := 0; u < ds.Graph.NumNodes() && found < 2; u++ {
+		p := ds.Graph.NodeTopics(graph.NodeID(u))
+		if p.Has(0) && onTopic == 0 {
+			onTopic = graph.NodeID(u)
+			found++
+		}
+		if !p.Has(0) && ds.Sim.MaxSim(p, 0) < 0.6 && offTopic == 0 {
+			offTopic = graph.NodeID(u)
+			found++
+		}
+	}
+	if found < 2 {
+		t.Skip("random graph lacks the two account kinds")
+	}
+	if o.Relevance(0, onTopic, 0) <= o.Relevance(0, offTopic, 0) {
+		t.Errorf("on-topic account must be more relevant: %g vs %g",
+			o.Relevance(0, onTopic, 0), o.Relevance(0, offTopic, 0))
+	}
+}
+
+func TestResearcherOracleProximity(t *testing.T) {
+	// Chain 0→1→2→3→4...; near authors are more relevant than far ones
+	// with identical topical profiles.
+	vocab := topics.MustVocabulary([]string{"db"})
+	b := graph.NewBuilder(vocab, 6)
+	for u := 0; u < 5; u++ {
+		b.AddEdge(graph.NodeID(u), graph.NodeID(u+1), topics.NewSet(0))
+		b.SetNodeTopics(graph.NodeID(u), topics.NewSet(0))
+	}
+	b.SetNodeTopics(5, topics.NewSet(0))
+	g := b.MustFreeze()
+	tax := topics.NewTaxonomyBuilder(vocab).Topic("db", "root").MustBuild()
+	o := &ResearcherOracle{G: g, Sim: tax.SimMatrix()}
+	near := o.Relevance(0, 1, 0)
+	far := o.Relevance(0, 5, 0) // 5 hops away, beyond MaxDist 3
+	if near <= far {
+		t.Errorf("near author %.3f must beat far author %.3f", near, far)
+	}
+	if o.Relevance(0, 0, 0) >= near {
+		t.Error("self must not be highly relevant")
+	}
+	// Cache path: second query hits the cached BFS.
+	if got := o.Relevance(0, 1, 0); got != near {
+		t.Error("cached relevance differs")
+	}
+}

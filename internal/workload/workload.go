@@ -1,0 +1,179 @@
+// Package workload generates recommendation query streams and measures a
+// recommender's service-level behaviour (throughput and latency
+// percentiles). The paper motivates the landmark approximation with the
+// volume of searches micro-blogging systems face (24 billion/month on
+// Twitter in 2012); this harness quantifies how many queries per second
+// each method sustains and with what tail latency.
+//
+// Queries follow the realistic skew of such systems: users are drawn
+// uniformly among sufficiently active accounts, topics by their biased
+// popularity (the Figure 3 distribution), so popular topics dominate the
+// stream exactly as they dominate real search traffic.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// Query is one recommendation request.
+type Query struct {
+	User  graph.NodeID
+	Topic topics.ID
+	TopN  int
+}
+
+// Config shapes the query stream.
+type Config struct {
+	// Queries is the stream length.
+	Queries int
+	// TopN requested per query.
+	TopN int
+	// MinOutDegree filters query users to active accounts.
+	MinOutDegree int
+	// TopicBias is the Zipf exponent over topics (0 = uniform).
+	TopicBias float64
+	// Concurrency is the number of in-flight workers when running the
+	// stream (1 = sequential).
+	Concurrency int
+	// Seed drives the stream.
+	Seed uint64
+}
+
+// DefaultConfig returns a modest stream.
+func DefaultConfig() Config {
+	return Config{Queries: 200, TopN: 10, MinOutDegree: 3, TopicBias: 1.2, Concurrency: 1, Seed: 1}
+}
+
+// Generate materializes the query stream for a graph.
+func Generate(g *graph.Graph, cfg Config) ([]Query, error) {
+	r := rand.New(rand.NewPCG(cfg.Seed, 0x10ad))
+	var pool []graph.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.OutDegree(graph.NodeID(u)) >= cfg.MinOutDegree {
+			pool = append(pool, graph.NodeID(u))
+		}
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("workload: no users with out-degree >= %d", cfg.MinOutDegree)
+	}
+	weights := topics.Popularity(g.Vocabulary(), cfg.TopicBias)
+	if cfg.TopicBias == 0 {
+		for i := range weights {
+			weights[i] = 1 / float64(len(weights))
+		}
+	}
+	out := make([]Query, cfg.Queries)
+	for i := range out {
+		out[i] = Query{
+			User:  pool[r.IntN(len(pool))],
+			Topic: drawTopic(r, weights),
+			TopN:  cfg.TopN,
+		}
+	}
+	return out, nil
+}
+
+func drawTopic(r *rand.Rand, weights []float64) topics.ID {
+	x := r.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if x < acc {
+			return topics.ID(i)
+		}
+	}
+	return topics.ID(len(weights) - 1)
+}
+
+// Report is the measured service behaviour of one recommender over one
+// stream.
+type Report struct {
+	Method   string
+	Queries  int
+	Wall     time.Duration
+	QPS      float64
+	P50, P95 time.Duration
+	P99, Max time.Duration
+	// EmptyResults counts queries that returned nothing.
+	EmptyResults int
+}
+
+// Run plays the stream against the recommender with the configured
+// concurrency and collects latency percentiles.
+func Run(rec ranking.Recommender, queries []Query, concurrency int) Report {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	lat := make([]time.Duration, len(queries))
+	empty := make([]bool, len(queries))
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				t0 := time.Now()
+				res := rec.Recommend(q.User, q.Topic, q.TopN)
+				lat[i] = time.Since(t0)
+				empty[i] = len(res) == 0
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	rep := Report{
+		Method:  rec.Name(),
+		Queries: len(queries),
+		Wall:    wall,
+		P50:     pct(0.50),
+		P95:     pct(0.95),
+		P99:     pct(0.99),
+	}
+	if len(lat) > 0 {
+		rep.Max = lat[len(lat)-1]
+	}
+	if wall > 0 {
+		rep.QPS = float64(len(queries)) / wall.Seconds()
+	}
+	for _, e := range empty {
+		if e {
+			rep.EmptyResults++
+		}
+	}
+	return rep
+}
+
+// String renders one report row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-22s %6d q %10.0f q/s  p50 %-10s p95 %-10s p99 %-10s max %-10s empty %d",
+		r.Method, r.Queries, r.QPS,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond), r.EmptyResults)
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+func TestGenerate(t *testing.T) {
+	ds := gen.RandomWith(80, 800, 1)
+	cfg := DefaultConfig()
+	cfg.Queries = 100
+	qs, err := Generate(ds.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 100 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if ds.Graph.OutDegree(q.User) < cfg.MinOutDegree {
+			t.Fatalf("query user %d below activity floor", q.User)
+		}
+		if int(q.Topic) >= ds.Vocabulary().Len() {
+			t.Fatalf("topic %d out of range", q.Topic)
+		}
+		if q.TopN != cfg.TopN {
+			t.Fatal("TopN not propagated")
+		}
+	}
+	// Deterministic under the seed.
+	qs2, _ := Generate(ds.Graph, cfg)
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestGenerateTopicBias(t *testing.T) {
+	cfg0 := gen.DefaultTwitterConfig()
+	cfg0.Nodes = 500
+	ds, err := gen.Twitter(cfg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Queries = 3000
+	qs, err := Generate(ds.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, ds.Vocabulary().Len())
+	for _, q := range qs {
+		counts[q.Topic]++
+	}
+	tech := counts[ds.Vocabulary().MustLookup("technology")]
+	social := counts[ds.Vocabulary().MustLookup("social")]
+	if tech <= 3*social {
+		t.Errorf("biased stream expected: tech %d vs social %d", tech, social)
+	}
+}
+
+func TestGenerateNoActiveUsers(t *testing.T) {
+	ds := gen.RandomWith(10, 5, 2)
+	cfg := DefaultConfig()
+	cfg.MinOutDegree = 100
+	if _, err := Generate(ds.Graph, cfg); err == nil {
+		t.Error("impossible activity floor must error")
+	}
+}
+
+// sleepyRec waits a fixed time per query so percentiles are predictable.
+type sleepyRec struct{ d time.Duration }
+
+func (s sleepyRec) Name() string { return "sleepy" }
+func (s sleepyRec) ScoreCandidates(graph.NodeID, topics.ID, []graph.NodeID) []float64 {
+	return nil
+}
+func (s sleepyRec) Recommend(graph.NodeID, topics.ID, int) []ranking.Scored {
+	time.Sleep(s.d)
+	return []ranking.Scored{{Node: 1, Score: 1}}
+}
+
+func TestRunMeasures(t *testing.T) {
+	qs := make([]Query, 30)
+	for i := range qs {
+		qs[i] = Query{User: 0, Topic: 0, TopN: 1}
+	}
+	rep := Run(sleepyRec{d: 2 * time.Millisecond}, qs, 1)
+	if rep.Queries != 30 || rep.EmptyResults != 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.P50 < time.Millisecond {
+		t.Errorf("p50 = %s, expected ≈2ms", rep.P50)
+	}
+	if rep.P99 < rep.P50 {
+		t.Error("p99 < p50")
+	}
+	if rep.QPS <= 0 || rep.QPS > 1000 {
+		t.Errorf("QPS = %.0f implausible for 2ms sequential queries", rep.QPS)
+	}
+	// Concurrency raises throughput for a sleep-bound recommender.
+	rep4 := Run(sleepyRec{d: 2 * time.Millisecond}, qs, 4)
+	if rep4.QPS <= rep.QPS {
+		t.Errorf("4-way QPS %.0f should beat sequential %.0f", rep4.QPS, rep.QPS)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// emptyRec returns nothing, exercising the EmptyResults counter.
+type emptyRec struct{}
+
+func (emptyRec) Name() string { return "empty" }
+func (emptyRec) ScoreCandidates(graph.NodeID, topics.ID, []graph.NodeID) []float64 {
+	return nil
+}
+func (emptyRec) Recommend(graph.NodeID, topics.ID, int) []ranking.Scored { return nil }
+
+func TestRunCountsEmpty(t *testing.T) {
+	rep := Run(emptyRec{}, []Query{{User: 0, Topic: 0, TopN: 1}}, 1)
+	if rep.EmptyResults != 1 {
+		t.Errorf("empty results = %d", rep.EmptyResults)
+	}
+}

@@ -1,0 +1,43 @@
+package tr_test
+
+import (
+	"fmt"
+
+	"repro/tr"
+)
+
+// Example shows the library's documented entry point: build a labeled
+// follow graph, create a System and ask for recommendations.
+func Example() {
+	tax := tr.WebTaxonomy()
+	vocab := tax.Vocabulary()
+	tech := vocab.MustLookup("technology")
+
+	// 0 follows 1; 1 follows 3; 2 follows both 1 and 3. Account 3
+	// publishes on technology and is two hops from account 0.
+	b := tr.NewGraphBuilder(vocab, 4)
+	b.SetNodeTopics(1, tr.TopicsOf(tech))
+	b.SetNodeTopics(3, tr.TopicsOf(tech))
+	b.AddEdge(0, 1, tr.TopicsOf(tech))
+	b.AddEdge(1, 3, tr.TopicsOf(tech))
+	b.AddEdge(2, 1, tr.TopicsOf(tech))
+	b.AddEdge(2, 3, tr.TopicsOf(tech))
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+
+	sys, err := tr.NewSystem(g, tax, tr.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	recs, err := sys.Recommend(0, tech, 3)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range recs {
+		fmt.Printf("%d. account %d\n", i+1, r.Node)
+	}
+	// Output:
+	// 1. account 3
+}
