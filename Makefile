@@ -1,0 +1,30 @@
+# Tier-1 verification: `make check` is what CI (and the next PR) runs.
+GO ?= go
+
+.PHONY: all build test race vet check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-hardened packages: the serving path and the metric registry are
+# exercised under the race detector on every check; a full -race run over
+# the repository is `make race-all`.
+race:
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/...
+
+.PHONY: race-all
+race-all:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

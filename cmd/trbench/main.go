@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		queries   = flag.Int("queries", cfg.QueryNodes, "query nodes for the landmark-quality experiment")
 		seed      = flag.Uint64("seed", cfg.Seed, "experiment seed")
 		format    = flag.String("format", "text", "output format: text or json")
+		dumpMet   = flag.Bool("metrics", false, "print collected preprocessing metrics (Prometheus text) after the runs")
 	)
 	flag.Parse()
 
@@ -51,6 +53,9 @@ func main() {
 	cfg.StoreTopN = *storeTopN
 	cfg.QueryNodes = *queries
 	cfg.Seed = *seed
+	if *dumpMet {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 
 	r := experiments.NewRunner(cfg)
 	ids := []string{*exp}
@@ -78,5 +83,9 @@ func main() {
 		if *format == "text" {
 			fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *dumpMet {
+		fmt.Println("# collected metrics")
+		cfg.Metrics.WriteTo(os.Stdout) //nolint:errcheck // stdout
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/topics"
 )
@@ -33,6 +34,7 @@ func main() {
 		landmarkN = flag.Int("landmarks", 30, "landmark count (In-Deg selection)")
 		topN      = flag.Int("store-topn", 500, "recommendations kept per landmark per topic")
 		strategy  = flag.String("refresh", "lazy", "landmark refresh strategy: eager, lazy, threshold")
+		reqTmo    = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline on /recommend (0 disables)")
 	)
 	flag.Parse()
 
@@ -79,19 +81,24 @@ func main() {
 	}
 	log.Printf("preprocessing %d landmarks over %d nodes / %d edges...", len(lms), g.NumNodes(), g.NumEdges())
 	start := time.Now()
+	// One registry spans the whole stack so GET /metrics covers the
+	// initial preprocessing run as well as everything served afterwards.
+	reg := metrics.NewRegistry()
 	mgr, err := dynamic.NewManager(g, lms, dynamic.Config{
 		Params:     core.DefaultParams(),
 		Sim:        sim,
 		StoreTopN:  *topN,
 		QueryDepth: 2,
 		Strategy:   strat,
+		Metrics:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("ready in %s", time.Since(start).Round(time.Millisecond))
 
-	srv := server.New(mgr, core.DefaultParams().Beta)
-	fmt.Printf("serving on %s (try /health, /topics, /stats, /recommend?user=42&topic=technology)\n", *addr)
+	srv := server.New(mgr, core.DefaultParams().Beta,
+		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo))
+	fmt.Printf("serving on %s (try /health, /topics, /stats, /metrics, /recommend?user=42&topic=technology)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

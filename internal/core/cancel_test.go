@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/topics"
+)
+
+func fixtureEngine(t *testing.T) *Engine {
+	t.Helper()
+	return figure1(t).engine(t, defaultTestParams())
+}
+
+// TestExploreCancelled runs both frontier modes under an
+// already-cancelled context: the exploration must stop without
+// propagating a single hop and mark itself Cancelled.
+func TestExploreCancelled(t *testing.T) {
+	e := fixtureEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Mode{MapMode, DenseMode} {
+		x := e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: mode, Ctx: ctx})
+		if !x.Cancelled {
+			t.Errorf("mode %v: exploration not marked cancelled", mode)
+		}
+		if x.Iterations != 0 {
+			t.Errorf("mode %v: %d hops ran under a cancelled context", mode, x.Iterations)
+		}
+		if len(x.Reached) != 0 {
+			t.Errorf("mode %v: %d nodes scored under a cancelled context", mode, len(x.Reached))
+		}
+	}
+}
+
+// TestExploreScratchCleanAfterCancel reuses one scratch for a cancelled
+// and then an unrestricted dense exploration; the second must match a
+// fresh run exactly (the abandoned hop may not leak frontier marks).
+func TestExploreScratchCleanAfterCancel(t *testing.T) {
+	e := fixtureEngine(t)
+	scratch := NewScratch(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: DenseMode, Scratch: scratch, Ctx: ctx})
+
+	got := e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: DenseMode, Scratch: scratch})
+	want := e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: DenseMode})
+	if got.Iterations != want.Iterations || len(got.Reached) != len(want.Reached) {
+		t.Fatalf("post-cancel run: %d iterations / %d reached, want %d / %d",
+			got.Iterations, len(got.Reached), want.Iterations, len(want.Reached))
+	}
+	for _, v := range want.Reached {
+		if got.Sigma(v, 0) != want.Sigma(v, 0) {
+			t.Fatalf("post-cancel sigma(%d) = %g, want %g", v, got.Sigma(v, 0), want.Sigma(v, 0))
+		}
+	}
+}
+
+func TestRecommendCtxCancelled(t *testing.T) {
+	e := fixtureEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewRecommender(e).RecommendCtx(ctx, 0, 0, 5); err == nil {
+		t.Error("RecommendCtx under a cancelled context returned no error")
+	}
+}
+
+// TestExploreMetrics checks the optional registry receives the
+// exploration series in both modes.
+func TestExploreMetrics(t *testing.T) {
+	e := fixtureEngine(t)
+	reg := metrics.NewRegistry()
+	e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: MapMode, Metrics: reg})
+	e.ExploreOpts(0, []topics.ID{0}, ExploreOptions{Mode: DenseMode, Metrics: reg})
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, series := range []string{
+		"core_explore_iterations_count 2",
+		"core_explore_frontier_peak_count 2",
+		"core_explore_scored_nodes_count 2",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("metrics missing %q in:\n%s", series, out)
+		}
+	}
+}

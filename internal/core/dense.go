@@ -50,9 +50,15 @@ func NewScratch(e *Engine) *Scratch {
 // fits reports whether the scratch matches the requested dimensions.
 func (s *Scratch) fits(n, k int) bool { return s != nil && s.n == n && s.k >= k }
 
+// cancelCheckStride bounds how many frontier expansions run between
+// context checks inside one hop: deep hops over large graphs can take
+// seconds, so a per-hop check alone would make cancellation too coarse.
+const cancelCheckStride = 4096
+
 // exploreDense is the array-backed propagation; semantics identical to the
 // map-based loop in ExploreOpts.
-func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, stop func(graph.NodeID) bool, s *Scratch) *Exploration {
+func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, opts ExploreOptions) *Exploration {
+	stop, s := opts.Stop, opts.Scratch
 	k := len(ts)
 	n := e.g.NumNodes()
 	if !s.fits(n, k) {
@@ -90,9 +96,21 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, st
 	}
 	defer clearCur() // leave the scratch clean for the next call
 
+	peakFrontier := 1
 	for depth := 1; depth <= maxDepth && len(s.curList) > 0; depth++ {
+		if ctxDone(opts.Ctx) {
+			x.Cancelled = true
+			break
+		}
 		s.nextList = s.nextList[:0]
+		expanded := 0
 		for _, w := range s.curList {
+			if opts.Ctx != nil {
+				if expanded++; expanded%cancelCheckStride == 0 && ctxDone(opts.Ctx) {
+					x.Cancelled = true
+					break
+				}
+			}
 			if stop != nil && w != src && stop(w) {
 				continue
 			}
@@ -120,6 +138,19 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, st
 				s.nextTopoAB[v] += ab * wTopoAB
 				s.nextTopoB[v] += beta * wTopoB
 			}
+		}
+		if x.Cancelled {
+			// The hop was abandoned midway: its partial deltas are not
+			// accumulated, and the next-frontier marks must be wiped so
+			// the scratch stays clean for reuse.
+			for _, u := range s.nextList {
+				s.inNext[u] = false
+			}
+			s.nextList = s.nextList[:0]
+			break
+		}
+		if len(s.nextList) > peakFrontier {
+			peakFrontier = len(s.nextList)
 		}
 
 		// Accumulate the hop and test convergence (Algorithm 1 l. 15).
@@ -170,5 +201,6 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, st
 			break
 		}
 	}
+	exploreMetrics(opts.Metrics, x, peakFrontier)
 	return x
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/topics"
 )
 
@@ -19,6 +21,10 @@ type Exploration struct {
 	Iterations int
 	// Converged reports whether the tolerance was met before MaxDepth.
 	Converged bool
+	// Cancelled reports that the exploration stopped early because its
+	// context was done; scores cover only the hops completed before
+	// cancellation.
+	Cancelled bool
 
 	k      int // len(Topics)
 	sigma  map[graph.NodeID][]float64
@@ -88,6 +94,41 @@ type ExploreOptions struct {
 	// Scratch supplies reusable dense buffers (DenseMode/AutoMode only);
 	// nil allocates fresh ones.
 	Scratch *Scratch
+	// Ctx, when non-nil, is checked between hops (and periodically inside
+	// large hops): a done context stops the exploration and marks the
+	// result Cancelled. This is how the server bounds slow exact-Tr
+	// queries with a per-request deadline.
+	Ctx context.Context
+	// Metrics, when non-nil, receives per-exploration series: iterations
+	// to convergence, peak frontier size and scored-node count — the live
+	// counterparts of the paper's preprocessing-cost quantities.
+	Metrics *metrics.Registry
+}
+
+// exploreMetrics records one finished exploration into the registry; a
+// nil registry records nothing.
+func exploreMetrics(reg *metrics.Registry, x *Exploration, peakFrontier int) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram("core_explore_iterations",
+		"Hops propagated per exploration before convergence or cutoff.",
+		metrics.LinearBuckets(1, 1, 16)).Observe(float64(x.Iterations))
+	reg.Histogram("core_explore_frontier_peak",
+		"Largest per-hop frontier of an exploration, in nodes.",
+		metrics.ExponentialBuckets(10, 10, 7)).Observe(float64(peakFrontier))
+	reg.Histogram("core_explore_scored_nodes",
+		"Nodes holding a non-zero score at the end of an exploration.",
+		metrics.ExponentialBuckets(10, 10, 7)).Observe(float64(len(x.sigma)))
+	if x.Cancelled {
+		reg.Counter("core_explore_cancelled_total",
+			"Explorations stopped early by context cancellation.").Inc()
+	}
+}
+
+// ctxDone reports whether a non-nil context has been cancelled.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // ExploreOpts is Explore with per-call options.
@@ -108,7 +149,7 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 	// stay on maps.
 	useDense := opts.Mode == DenseMode || (opts.Mode == AutoMode && maxDepth > 3)
 	if useDense {
-		return e.exploreDense(src, ts, maxDepth, opts.Stop, opts.Scratch)
+		return e.exploreDense(src, ts, maxDepth, opts)
 	}
 	k := len(ts)
 	x := &Exploration{
@@ -132,7 +173,12 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 	beta, alpha := e.params.Beta, e.params.Alpha
 	ab := alpha * beta
 
+	peakFrontier := 1
 	for depth := 1; depth <= maxDepth && len(cur) > 0; depth++ {
+		if ctxDone(opts.Ctx) {
+			x.Cancelled = true
+			break
+		}
 		next := make(map[graph.NodeID]*delta, len(cur)*2)
 		// Expand frontier nodes in sorted order: per-target float sums
 		// must not depend on map iteration order.
@@ -174,6 +220,9 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 		for v := range next {
 			frontier = append(frontier, v)
 		}
+		if len(frontier) > peakFrontier {
+			peakFrontier = len(frontier)
+		}
 		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		var maxTopicMass, topoMass float64
 		perTopic := make([]float64, k)
@@ -211,5 +260,6 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 		}
 		cur = next
 	}
+	exploreMetrics(opts.Metrics, x, peakFrontier)
 	return x
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/topics"
 )
@@ -18,6 +21,8 @@ type Recommender struct {
 	// results (they need no recommendation); candidate scoring is not
 	// affected.
 	excludeFollowed bool
+	// metrics, when non-nil, is threaded into every exploration.
+	metrics *metrics.Registry
 }
 
 // RecommenderOption customizes a Recommender.
@@ -33,6 +38,11 @@ func WithDepth(d int) RecommenderOption {
 // output.
 func WithExcludeFollowed() RecommenderOption {
 	return func(r *Recommender) { r.excludeFollowed = true }
+}
+
+// WithMetrics records per-query exploration series into reg.
+func WithMetrics(reg *metrics.Registry) RecommenderOption {
+	return func(r *Recommender) { r.metrics = reg }
 }
 
 // NewRecommender wraps an engine.
@@ -74,7 +84,22 @@ func (r *Recommender) ScoreCandidates(u graph.NodeID, t topics.ID, cands []graph
 
 // Recommend returns the top-n accounts for u on topic t, best first.
 func (r *Recommender) Recommend(u graph.NodeID, t topics.ID, n int) []ranking.Scored {
-	x := r.eng.Explore(u, []topics.ID{t}, r.depth)
+	out, _ := r.RecommendCtx(context.Background(), u, t, n) //nolint:errcheck // background ctx never cancels
+	return out
+}
+
+// RecommendCtx is Recommend under a context: a deadline or cancellation
+// stops the exploration between hops and returns the context's error, so
+// a slow exact query cannot pin its goroutine past the caller's budget.
+func (r *Recommender) RecommendCtx(ctx context.Context, u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, error) {
+	x := r.eng.ExploreOpts(u, []topics.ID{t}, ExploreOptions{
+		MaxDepth: r.depth,
+		Ctx:      ctx,
+		Metrics:  r.metrics,
+	})
+	if x.Cancelled {
+		return nil, ctx.Err()
+	}
 	top := ranking.NewTopN(n)
 	for _, v := range x.Reached {
 		if v == u {
@@ -87,7 +112,7 @@ func (r *Recommender) Recommend(u graph.NodeID, t topics.ID, n int) []ranking.Sc
 			top.Insert(v, s)
 		}
 	}
-	return top.List()
+	return top.List(), nil
 }
 
 // QueryTopic is one weighted topic of a multi-topic query Q = {t1…tn}. The

@@ -24,6 +24,7 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/topics"
 )
@@ -76,6 +78,12 @@ type Config struct {
 	Strategy Strategy
 	// StaleBound triggers the Threshold strategy.
 	StaleBound int
+	// Metrics, when non-nil, receives maintenance counters and gauges
+	// (batches, edge changes, refreshes, stale landmarks) plus the
+	// preprocessing timings of every refresh. Equivalent to calling
+	// Instrument after NewManager, but also covers the initial
+	// preprocessing run.
+	Metrics *metrics.Registry
 }
 
 // Stats counts the maintenance work done.
@@ -104,6 +112,15 @@ type Manager struct {
 	lms     []graph.NodeID
 	stale   map[graph.NodeID]bool
 	stats   Stats
+
+	// Instrumentation: nil registry means no recording. The counters are
+	// resolved once at Instrument time so Apply's hot path is pure
+	// atomics.
+	reg           *metrics.Registry
+	mBatches      *metrics.Counter
+	mEdgesAdded   *metrics.Counter
+	mEdgesRemoved *metrics.Counter
+	mRefreshes    *metrics.Counter
 }
 
 // NewManager preprocesses the initial graph and landmark set.
@@ -127,9 +144,40 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
 	}
-	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN})
+	m.Instrument(cfg.Metrics)
+	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics})
 	m.store = store
 	return m, nil
+}
+
+// Instrument attaches a metric registry to the manager: maintenance
+// counters are synchronized with the current Stats and kept up to date by
+// every Apply/refresh, and gauges for the stale-landmark count and
+// landmark-set size are registered as exposition-time callbacks. Nil is a
+// no-op; calling twice replaces the previous registry.
+func (m *Manager) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	st := m.stats
+	m.reg = reg
+	m.mBatches = reg.Counter("dynamic_batches_total", "Update batches applied to the graph.")
+	m.mEdgesAdded = reg.Counter("dynamic_edges_added_total", "Follow edges added by updates.")
+	m.mEdgesRemoved = reg.Counter("dynamic_edges_removed_total", "Follow edges removed by updates.")
+	m.mRefreshes = reg.Counter("dynamic_landmark_refreshes_total", "Landmark re-explorations triggered by updates or queries.")
+	m.mBatches.Add(uint64(st.Batches))
+	m.mEdgesAdded.Add(uint64(st.EdgesAdded))
+	m.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
+	m.mRefreshes.Add(uint64(st.Refreshes))
+	nLms := len(m.lms)
+	m.mu.Unlock()
+	reg.GaugeFunc("dynamic_stale_landmarks",
+		"Landmarks currently marked stale (awaiting refresh).",
+		func() float64 { return float64(m.Stats().StaleNow) })
+	reg.GaugeFunc("dynamic_landmarks",
+		"Landmarks maintained by the manager.",
+		func() float64 { return float64(nLms) })
 }
 
 // builderFrom reconstructs a mutable builder from a frozen graph.
@@ -195,9 +243,15 @@ func (m *Manager) Apply(batch []Update) error {
 		if up.Add {
 			m.builder.AddEdge(up.Edge.Src, up.Edge.Dst, up.Edge.Label)
 			m.stats.EdgesAdded++
+			if m.mEdgesAdded != nil {
+				m.mEdgesAdded.Inc()
+			}
 		} else {
 			removed = append(removed, up.Edge)
 			m.stats.EdgesRemoved++
+			if m.mEdgesRemoved != nil {
+				m.mEdgesRemoved.Inc()
+			}
 		}
 	}
 	g, err := m.builder.Freeze()
@@ -226,6 +280,9 @@ func (m *Manager) Apply(batch []Update) error {
 		}
 	}
 	m.stats.Batches++
+	if m.mBatches != nil {
+		m.mBatches.Inc()
+	}
 
 	// Mark affected landmarks. Authority scores shift globally with every
 	// degree change, but the dominant staleness comes from path changes:
@@ -300,7 +357,7 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 	if len(lms) == 0 {
 		return nil
 	}
-	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN})
+	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN, Metrics: m.reg})
 	for _, lm := range lms {
 		if d := fresh.Get(lm); d != nil {
 			if err := m.store.Put(d); err != nil {
@@ -309,6 +366,9 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 		}
 		delete(m.stale, lm)
 		m.stats.Refreshes++
+		if m.mRefreshes != nil {
+			m.mRefreshes.Inc()
+		}
 	}
 	return nil
 }
@@ -342,7 +402,20 @@ func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Score
 // RecommendExact answers with the exact convergence computation on the
 // current graph (reference for tests and quality checks).
 func (m *Manager) RecommendExact(u graph.NodeID, t topics.ID, n int) []ranking.Scored {
+	out, _ := m.RecommendExactCtx(context.Background(), u, t, n) //nolint:errcheck // background ctx never cancels
+	return out
+}
+
+// RecommendExactCtx is RecommendExact under a context: the exploration
+// stops between hops once the context is done and the context's error is
+// returned, so a caller-imposed deadline bounds even convergence-depth
+// queries.
+func (m *Manager) RecommendExactCtx(ctx context.Context, u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return core.NewRecommender(m.eng).Recommend(u, t, n)
+	var opts []core.RecommenderOption
+	if m.reg != nil {
+		opts = append(opts, core.WithMetrics(m.reg))
+	}
+	return core.NewRecommender(m.eng, opts...).RecommendCtx(ctx, u, t, n)
 }

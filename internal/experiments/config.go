@@ -14,6 +14,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/katz"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/topics"
 	"repro/internal/twitterrank"
@@ -44,6 +45,10 @@ type Config struct {
 	QueryNodes int
 	// Seed scopes all experiment-level randomness.
 	Seed uint64
+	// Metrics, when non-nil, collects landmark preprocessing timings
+	// across experiments — the live counterpart of Table 5, printable
+	// with trbench -metrics.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the scaled-down defaults.

@@ -54,7 +54,7 @@ func (r *Runner) Table5() (*Table5Result, error) {
 		if len(lms) == 0 {
 			return nil, fmt.Errorf("table5 %s: no landmarks selected", strat)
 		}
-		_, stats := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN})
+		_, stats := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN, Metrics: r.cfg.Metrics})
 		res.Rows = append(res.Rows, Table5Row{
 			Strategy:           strat,
 			SelectPerLandmark:  selDur / time.Duration(len(lms)),
@@ -146,7 +146,7 @@ func (r *Runner) Table6() (*Table6Result, error) {
 		if len(lms) == 0 {
 			return nil, fmt.Errorf("table6 %s: no landmarks selected", strat)
 		}
-		store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN})
+		store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN, Metrics: r.cfg.Metrics})
 
 		row := Table6Row{Strategy: strat, Tau: map[int]float64{}}
 		// Quality per store size, on the largest store's approximation.

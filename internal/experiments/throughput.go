@@ -36,7 +36,7 @@ func (r *Runner) ExtThroughput() (*ThroughputResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN})
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN, Metrics: r.cfg.Metrics})
 	approx, err := landmark.NewApprox(eng, store, r.cfg.ApproxDepth)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // PreprocessConfig controls the preprocessing step.
@@ -17,6 +18,10 @@ type PreprocessConfig struct {
 	// Workers bounds the parallelism across landmarks; <= 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives the preprocessing-cost series —
+	// Table 5's quantities live: a per-landmark compute-time histogram, a
+	// processed-landmark counter and a worker-utilization gauge.
+	Metrics *metrics.Registry
 }
 
 // PreprocessStats reports the preprocessing cost, the quantities of
@@ -94,12 +99,36 @@ func Preprocess(eng *core.Engine, landmarks []graph.NodeID, cfg PreprocessConfig
 		close(results)
 	}()
 
+	var computeHist *metrics.Histogram
+	if cfg.Metrics != nil {
+		computeHist = cfg.Metrics.Histogram("landmark_preprocess_seconds",
+			"Per-landmark exploration time in seconds (Table 5's comput. column, live).",
+			nil)
+	}
 	stats := PreprocessStats{}
 	for r := range results {
 		store.Put(r.data) //nolint:errcheck // vocabLen matches by construction
 		stats.ComputeTime += r.cost
 		stats.Landmarks++
+		if computeHist != nil {
+			computeHist.ObserveDuration(r.cost)
+		}
 	}
 	stats.WallTime = time.Since(start)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("landmark_preprocessed_total",
+			"Landmarks processed across all preprocessing and refresh runs.").
+			Add(uint64(stats.Landmarks))
+		cfg.Metrics.Histogram("landmark_preprocess_wall_seconds",
+			"Wall-clock time of whole preprocessing runs in seconds.",
+			nil).ObserveDuration(stats.WallTime)
+		if stats.WallTime > 0 && workers > 0 {
+			// ComputeTime / (WallTime × workers) ∈ (0, 1]: how busy the
+			// worker pool was kept on average.
+			cfg.Metrics.Gauge("landmark_preprocess_worker_utilization",
+				"Fraction of worker-seconds spent exploring during the last preprocessing run.").
+				Set(stats.ComputeTime.Seconds() / (stats.WallTime.Seconds() * float64(workers)))
+		}
+	}
 	return store, stats
 }

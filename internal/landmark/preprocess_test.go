@@ -1,0 +1,113 @@
+package landmark
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// equalStores fails the test unless the two stores hold exactly the same
+// landmarks with bit-identical lists.
+func equalStores(t *testing.T, label string, got, want *Store) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d landmarks stored, want %d", label, got.Len(), want.Len())
+	}
+	for _, lm := range want.Landmarks() {
+		gd, wd := got.Get(lm), want.Get(lm)
+		if gd == nil {
+			t.Fatalf("%s: landmark %d missing", label, lm)
+		}
+		if gd.Iterations != wd.Iterations {
+			t.Fatalf("%s: landmark %d ran %d iterations, want %d", label, lm, gd.Iterations, wd.Iterations)
+		}
+		for ti := range wd.Topical {
+			equalLists(t, label, lm, ti, gd.Topical[ti], wd.Topical[ti])
+		}
+		equalLists(t, label, lm, -1, gd.TopoTop, wd.TopoTop)
+	}
+}
+
+func equalLists(t *testing.T, label string, lm graph.NodeID, ti int, got, want List) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: landmark %d topic %d: %d entries, want %d", label, lm, ti, got.Len(), want.Len())
+	}
+	for i := range want.Nodes {
+		if got.Nodes[i] != want.Nodes[i] || got.Sigma[i] != want.Sigma[i] || got.Topo[i] != want.Topo[i] {
+			t.Fatalf("%s: landmark %d topic %d entry %d: (%d, %g, %g), want (%d, %g, %g)",
+				label, lm, ti, i,
+				got.Nodes[i], got.Sigma[i], got.Topo[i],
+				want.Nodes[i], want.Sigma[i], want.Topo[i])
+		}
+	}
+}
+
+// TestPreprocessWorkerDeterminism pins the parallelism contract: the
+// produced store is a pure function of (engine, landmarks, TopN), whatever
+// the worker count — one sequential worker, the GOMAXPROCS default
+// (Workers <= 0) or more workers than landmarks.
+func TestPreprocessWorkerDeterminism(t *testing.T) {
+	ds := gen.RandomWith(120, 1500, 3)
+	eng := engineOn(t, ds, 0.05)
+	lms := []graph.NodeID{3, 17, 41, 77, 99}
+
+	sequential, seqStats := Preprocess(eng, lms, PreprocessConfig{TopN: 50, Workers: 1})
+	if seqStats.Landmarks != len(lms) {
+		t.Fatalf("sequential run processed %d landmarks, want %d", seqStats.Landmarks, len(lms))
+	}
+
+	cases := []struct {
+		label   string
+		workers int
+	}{
+		{"Workers=0 (GOMAXPROCS)", 0},
+		{"Workers=-4", -4},
+		{"Workers=2", 2},
+		{"Workers>len(landmarks)", len(lms) * 3},
+	}
+	for _, tc := range cases {
+		store, stats := Preprocess(eng, lms, PreprocessConfig{TopN: 50, Workers: tc.workers})
+		if stats.Landmarks != len(lms) {
+			t.Fatalf("%s: processed %d landmarks, want %d", tc.label, stats.Landmarks, len(lms))
+		}
+		equalStores(t, tc.label, store, sequential)
+	}
+}
+
+// TestPreprocessMetrics checks that an attached registry receives the
+// Table 5 series: one compute-time observation per landmark, the
+// processed counter, the wall-time histogram and a utilization gauge in
+// (0, 1].
+func TestPreprocessMetrics(t *testing.T) {
+	ds := gen.RandomWith(80, 800, 1)
+	eng := engineOn(t, ds, 0.05)
+	lms := []graph.NodeID{1, 2, 3}
+	reg := metrics.NewRegistry()
+	_, stats := Preprocess(eng, lms, PreprocessConfig{TopN: 20, Workers: 2, Metrics: reg})
+	if stats.Landmarks != len(lms) {
+		t.Fatalf("processed %d landmarks, want %d", stats.Landmarks, len(lms))
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"landmark_preprocess_seconds_count 3",
+		"landmark_preprocessed_total 3",
+		"landmark_preprocess_wall_seconds_count 1",
+		"landmark_preprocess_worker_utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	util := reg.Gauge("landmark_preprocess_worker_utilization", "").Value()
+	if util <= 0 || util > 1.0001 {
+		t.Errorf("worker utilization = %g, want in (0, 1]", util)
+	}
+}

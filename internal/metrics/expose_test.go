@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with one family of every kind,
+// labeled and unlabeled, with fixed observations — the exposition of
+// this state must match testdata/exposition.golden byte for byte.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	reqs := r.CounterVec("http_requests_total", "Requests served, by method, route and status code.", "method", "route", "code")
+	reqs.With("GET", "/recommend", "200").Add(7)
+	reqs.With("GET", "/recommend", "400").Add(2)
+	reqs.With("POST", "/updates", "200").Inc()
+
+	r.Counter("cache_hits_total", "Recommendation cache hits.").Add(5)
+	r.Counter("cache_misses_total", "Recommendation cache misses.").Add(9)
+
+	r.Gauge("dynamic_stale_landmarks", "Landmarks currently marked stale.").Set(3)
+	r.GaugeFunc("cache_entries", "Live entries in the recommendation cache.", func() float64 { return 12 })
+
+	lat := r.HistogramVec("http_request_seconds", "Request latency in seconds.", []float64{0.001, 0.01, 0.1, 1}, "route")
+	h := lat.With("/recommend")
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	pre := r.Histogram("landmark_preprocess_seconds", "Per-landmark exploration time in seconds.", []float64{0.25, 0.5, 1})
+	pre.Observe(0.1)
+	pre.Observe(0.3)
+	pre.Observe(0.75)
+
+	esc := r.CounterVec("label_escape_total", `Help with a \ backslash.`, "q")
+	esc.With("say \"hi\"\n").Inc()
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var b strings.Builder
+	if _, err := goldenRegistry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionDeterministic renders twice and requires identical bytes:
+// families and series must be emitted in sorted order, never map order.
+func TestExpositionDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	var a, b strings.Builder
+	if _, err := r.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestExpositionInvariants(t *testing.T) {
+	var b strings.Builder
+	if _, err := goldenRegistry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE http_requests_total counter",
+		"# TYPE http_request_seconds histogram",
+		"# TYPE dynamic_stale_landmarks gauge",
+		`http_request_seconds_bucket{route="/recommend",le="+Inf"} 5`,
+		"http_request_seconds_count{route=\"/recommend\"} 5",
+		"cache_entries 12",
+		`label_escape_total{q="say \"hi\"\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts never decrease.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "http_request_seconds_bucket") {
+			n, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if n < last {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			last = n
+		}
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	rec := httptest.NewRecorder()
+	goldenRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "http_requests_total") {
+		t.Error("body missing series")
+	}
+}

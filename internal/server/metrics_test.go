@@ -1,0 +1,115 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsEndpointCoverage drives the serving stack once through every
+// instrumented path and then requires /metrics to expose the full series
+// set of the acceptance criteria: request latency histograms, cache
+// hit/miss counters, dynamic-manager gauges and landmark preprocessing
+// timings.
+func TestMetricsEndpointCoverage(t *testing.T) {
+	srv, _ := testServer(t)
+	url := srv.URL + "/recommend?user=11&topic=technology&n=5&method=tr"
+	getJSON(t, url, http.StatusOK, nil) // miss
+	getJSON(t, url, http.StatusOK, nil) // hit
+	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+		{Src: 1, Dst: 2, Topics: []string{"technology"}},
+	}}, http.StatusOK, nil)
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&n=5&method=katz", http.StatusOK, nil)
+
+	out := fetchMetrics(t, srv.URL)
+	for _, want := range []string{
+		// Request middleware.
+		`http_requests_total{method="GET",route="/recommend",code="200"}`,
+		`http_requests_total{method="POST",route="/updates",code="200"}`,
+		`http_request_seconds_bucket{route="/recommend",le="+Inf"}`,
+		// Cache.
+		"cache_hits_total 1",
+		"cache_misses_total 2",
+		"cache_invalidations_total 1",
+		"cache_entries",
+		// Dynamic manager.
+		"dynamic_batches_total 1",
+		"dynamic_edges_added_total 1",
+		"dynamic_stale_landmarks",
+		"dynamic_landmarks 6",
+		// Landmark preprocessing (initial run: 6 landmarks).
+		"landmark_preprocess_seconds_count 6",
+		"landmark_preprocessed_total 6",
+		"landmark_preprocess_worker_utilization",
+		// Baselines.
+		`baseline_rebuilds_total{method="katz"} 1`,
+		`baseline_rebuild_seconds_count{method="katz"} 1`,
+		// Updates.
+		"updates_applied_total 1",
+		// Per-query exploration series from the exact path.
+		"core_explore_iterations_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", out)
+	}
+}
+
+// TestRequestDeadline serves exact-Tr queries under a deadline that has
+// no chance of being met: the handler must answer 504 instead of pinning
+// the goroutine, and count the timeout.
+func TestRequestDeadline(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg), WithRequestTimeout(time.Nanosecond))
+	srv := newTestHTTP(t, s)
+
+	var e map[string]string
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=tr", http.StatusGatewayTimeout, &e)
+	if !strings.Contains(e["error"], "deadline") {
+		t.Errorf("error body = %q, want a deadline message", e["error"])
+	}
+	if got := reg.Counter("request_timeouts_total", "").Value(); got != 1 {
+		t.Errorf("request_timeouts_total = %d, want 1", got)
+	}
+	// Cached and landmark paths are unaffected by the deadline.
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=landmark", http.StatusOK, nil)
+}
+
+// TestRequestTimeoutDisabled checks that WithRequestTimeout(0) turns the
+// deadline off entirely.
+func TestRequestTimeoutDisabled(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg), WithRequestTimeout(0))
+	srv := newTestHTTP(t, s)
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=tr", http.StatusOK, nil)
+}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the status code a handler writes so the request
+// middleware can label its counters; it defaults to 200 because handlers
+// that never call WriteHeader implicitly send it.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route's handler with request counting and latency
+// observation: http_requests_total{method,route,code} and
+// http_request_seconds{route}.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.httpLat.With(route) // resolve once, not per request
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.httpReqs.With(r.Method, route, strconv.Itoa(sw.code)).Inc()
+		hist.ObserveDuration(time.Since(start))
+	}
+}

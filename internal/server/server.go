@@ -8,7 +8,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -18,18 +20,39 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/katz"
+	"repro/internal/metrics"
 	"repro/internal/ranking"
 	"repro/internal/topics"
 	"repro/internal/twitterrank"
 )
 
+// DefaultRequestTimeout bounds one /recommend request unless overridden
+// with WithRequestTimeout. Exact-Tr queries run graph explorations to
+// convergence; without a deadline a pathological query pins its goroutine
+// for as long as the exploration takes.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Server is the HTTP facade. It is safe for concurrent requests; updates
 // are serialized by the underlying dynamic.Manager.
 type Server struct {
-	mgr   *dynamic.Manager
-	vocab *topics.Vocabulary
-	beta  float64
-	cache *resultCache
+	mgr        *dynamic.Manager
+	vocab      *topics.Vocabulary
+	beta       float64
+	cache      *resultCache
+	reg        *metrics.Registry
+	reqTimeout time.Duration
+
+	// Metric handles, resolved once at construction.
+	httpReqs        *metrics.CounterVec
+	httpLat         *metrics.HistogramVec
+	cacheHits       *metrics.Counter
+	cacheMisses     *metrics.Counter
+	cacheInvals     *metrics.Counter
+	timeouts        *metrics.Counter
+	rebuilds        *metrics.CounterVec
+	rebuildSecs     *metrics.HistogramVec
+	updatesApplied  *metrics.Counter
+	updatesRejected *metrics.Counter
 
 	mu      sync.Mutex
 	baseGen int // update-batch count the cached baselines were built at
@@ -37,26 +60,76 @@ type Server struct {
 	twrRec  ranking.Recommender
 }
 
-// New builds a server over a dynamic manager. beta is the Katz decay used
-// for the baseline. Results are served from a small LRU that updates
-// invalidate wholesale.
-func New(mgr *dynamic.Manager, beta float64) *Server {
-	return &Server{
-		mgr:   mgr,
-		vocab: mgr.Graph().Vocabulary(),
-		beta:  beta,
-		cache: newResultCache(4096),
-	}
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMetrics uses reg instead of a fresh private registry, so several
+// subsystems can share one exposition.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.reg = reg }
 }
 
-// Handler returns the route table.
+// WithRequestTimeout sets the per-request deadline applied to /recommend;
+// d <= 0 disables the deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// New builds a server over a dynamic manager. beta is the Katz decay used
+// for the baseline. Results are served from a small LRU that updates
+// invalidate wholesale. The manager is instrumented into the server's
+// registry, so GET /metrics covers the whole serving stack.
+func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
+	s := &Server{
+		mgr:        mgr,
+		vocab:      mgr.Graph().Vocabulary(),
+		beta:       beta,
+		cache:      newResultCache(4096),
+		reqTimeout: DefaultRequestTimeout,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	mgr.Instrument(s.reg)
+	s.httpReqs = s.reg.CounterVec("http_requests_total",
+		"Requests served, by method, route and status code.", "method", "route", "code")
+	s.httpLat = s.reg.HistogramVec("http_request_seconds",
+		"Request latency in seconds, by route.", nil, "route")
+	s.cacheHits = s.reg.Counter("cache_hits_total", "Recommendation-cache hits.")
+	s.cacheMisses = s.reg.Counter("cache_misses_total", "Recommendation-cache misses.")
+	s.cacheInvals = s.reg.Counter("cache_invalidations_total",
+		"Wholesale cache invalidations triggered by update batches.")
+	s.timeouts = s.reg.Counter("request_timeouts_total",
+		"Recommendation requests cancelled by the per-request deadline.")
+	s.rebuilds = s.reg.CounterVec("baseline_rebuilds_total",
+		"Baseline recommender rebuilds after graph updates, by method.", "method")
+	s.rebuildSecs = s.reg.HistogramVec("baseline_rebuild_seconds",
+		"Time to rebuild a baseline recommender, by method.", nil, "method")
+	s.updatesApplied = s.reg.Counter("updates_applied_total", "Follow/unfollow changes applied.")
+	s.updatesRejected = s.reg.Counter("updates_rejected_total", "Update items rejected by validation.")
+	s.reg.GaugeFunc("cache_entries", "Live entries in the recommendation cache.",
+		func() float64 { return float64(s.cache.len()) })
+	return s
+}
+
+// Metrics returns the server's registry (for sharing with other
+// subsystems or for tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the route table. Every route is wrapped in the request
+// middleware; /metrics exposes the registry in the Prometheus text
+// format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.handleHealth)
-	mux.HandleFunc("GET /topics", s.handleTopics)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /recommend", s.handleRecommend)
-	mux.HandleFunc("POST /updates", s.handleUpdates)
+	mux.HandleFunc("GET /health", s.instrument("/health", s.handleHealth))
+	mux.HandleFunc("GET /topics", s.instrument("/topics", s.handleTopics))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /recommend", s.instrument("/recommend", s.handleRecommend))
+	mux.HandleFunc("POST /updates", s.instrument("/updates", s.handleUpdates))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.reg.ServeHTTP))
 	return mux
 }
 
@@ -148,6 +221,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		method = "landmark"
 	}
 
+	ctx := r.Context()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+
 	key := cacheKey{user: graph.NodeID(uid), topic: t, n: n, method: method}
 	start := time.Now()
 	scored, cached := s.cache.get(key)
@@ -160,7 +240,16 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case "tr":
-			scored = s.mgr.RecommendExact(graph.NodeID(uid), t, n)
+			scored, err = s.mgr.RecommendExactCtx(ctx, graph.NodeID(uid), t, n)
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					s.timeouts.Inc()
+					writeErr(w, http.StatusGatewayTimeout, "exact recommendation exceeded the %s deadline", s.reqTimeout)
+					return
+				}
+				writeErr(w, http.StatusInternalServerError, "exact recommendation failed: %v", err)
+				return
+			}
 		case "katz", "twitterrank":
 			rec, err := s.baseline(method)
 			if err != nil {
@@ -176,8 +265,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	took := time.Since(start)
 	if cached {
+		s.cacheHits.Inc()
 		w.Header().Set("X-Cache", "hit")
 	} else {
+		s.cacheMisses.Inc()
 		w.Header().Set("X-Cache", "miss")
 	}
 
@@ -216,23 +307,33 @@ func (s *Server) baseline(method string) (ranking.Recommender, error) {
 	switch method {
 	case "katz":
 		if s.katzRec == nil {
+			start := time.Now()
 			rec, err := katz.New(s.mgr.Graph(), s.beta, 0)
 			if err != nil {
 				return nil, err
 			}
 			s.katzRec = rec
+			s.recordRebuild("katz", time.Since(start))
 		}
 		return s.katzRec, nil
 	default:
 		if s.twrRec == nil {
+			start := time.Now()
 			rec, err := twitterrank.New(twitterrank.InputFromProfiles(s.mgr.Graph()), twitterrank.DefaultParams())
 			if err != nil {
 				return nil, err
 			}
 			s.twrRec = rec
+			s.recordRebuild("twitterrank", time.Since(start))
 		}
 		return s.twrRec, nil
 	}
+}
+
+// recordRebuild counts one baseline rebuild and its duration.
+func (s *Server) recordRebuild(method string, took time.Duration) {
+	s.rebuilds.With(method).Inc()
+	s.rebuildSecs.With(method).ObserveDuration(took)
 }
 
 // UpdateRequest is the /updates payload: a batch of follow/unfollow
@@ -252,10 +353,12 @@ type UpdateItem struct {
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.updatesRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
+		s.updatesRejected.Inc()
 		writeErr(w, http.StatusBadRequest, "empty update batch")
 		return
 	}
@@ -263,19 +366,23 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	batch := make([]dynamic.Update, 0, len(req.Updates))
 	for i, item := range req.Updates {
 		if int(item.Src) >= g.NumNodes() || int(item.Dst) >= g.NumNodes() {
+			s.updatesRejected.Inc()
 			writeErr(w, http.StatusBadRequest, "update %d references unknown user", i)
 			return
 		}
 		if item.Src == item.Dst {
+			s.updatesRejected.Inc()
 			writeErr(w, http.StatusBadRequest, "update %d is a self-follow", i)
 			return
 		}
 		lbl, err := s.vocab.SetOf(item.Topics...)
 		if err != nil {
+			s.updatesRejected.Inc()
 			writeErr(w, http.StatusBadRequest, "update %d: %v", i, err)
 			return
 		}
 		if lbl.IsEmpty() && !item.Remove {
+			s.updatesRejected.Inc()
 			writeErr(w, http.StatusBadRequest, "update %d: a follow needs at least one topic", i)
 			return
 		}
@@ -288,7 +395,9 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "applying updates: %v", err)
 		return
 	}
+	s.updatesApplied.Add(uint64(len(batch)))
 	s.cache.invalidate()
+	s.cacheInvals.Inc()
 	st := s.mgr.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"applied":   len(batch),

@@ -12,9 +12,13 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
+// testManager builds a small dataset and a manager instrumented into reg
+// (the trserver wiring: one registry across manager and server, so the
+// initial preprocessing run is visible at /metrics too).
+func testManager(t *testing.T, reg *metrics.Registry) (*dynamic.Manager, *gen.Dataset) {
 	t.Helper()
 	cfg := gen.DefaultTwitterConfig()
 	cfg.Nodes = 600
@@ -29,14 +33,27 @@ func testServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
 	}
 	mgr, err := dynamic.NewManager(ds.Graph, lms, dynamic.Config{
 		Params: core.DefaultParams(), Sim: ds.Sim, StoreTopN: 100,
-		QueryDepth: 2, Strategy: dynamic.Lazy,
+		QueryDepth: 2, Strategy: dynamic.Lazy, Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(mgr, core.DefaultParams().Beta).Handler())
+	return mgr, ds
+}
+
+func testServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	mgr, ds := testManager(t, reg)
+	return newTestHTTP(t, New(mgr, core.DefaultParams().Beta, WithMetrics(reg))), ds
+}
+
+// newTestHTTP serves a Server over httptest with cleanup.
+func newTestHTTP(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
-	return srv, ds
+	return srv
 }
 
 func getJSON(t *testing.T, url string, wantCode int, out any) {
@@ -112,9 +129,14 @@ func TestRecommendErrors(t *testing.T) {
 	cases := []string{
 		"/recommend?user=abc&topic=technology",
 		"/recommend?user=999999&topic=technology",
+		"/recommend?user=-1&topic=technology",
+		"/recommend?topic=technology", // user missing entirely
+		"/recommend?user=1",           // topic missing entirely
 		"/recommend?user=1&topic=nope",
 		"/recommend?user=1&topic=technology&n=0",
+		"/recommend?user=1&topic=technology&n=-3",
 		"/recommend?user=1&topic=technology&n=99999",
+		"/recommend?user=1&topic=technology&n=five",
 		"/recommend?user=1&topic=technology&method=magic",
 	}
 	for _, c := range cases {
@@ -122,6 +144,36 @@ func TestRecommendErrors(t *testing.T) {
 		getJSON(t, srv.URL+c, http.StatusBadRequest, &e)
 		if e["error"] == "" {
 			t.Errorf("%s: missing error body", c)
+		}
+	}
+}
+
+// TestMethodNotAllowed sends each route the wrong HTTP verb; the method
+// patterns in the route table must answer 405, never dispatch.
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/recommend?user=1&topic=technology"},
+		{http.MethodDelete, "/recommend?user=1&topic=technology"},
+		{http.MethodGet, "/updates"},
+		{http.MethodPut, "/updates"},
+		{http.MethodPost, "/health"},
+		{http.MethodPost, "/metrics"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, http.StatusMethodNotAllowed)
 		}
 	}
 }
