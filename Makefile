@@ -15,7 +15,7 @@ test:
 # exercised under the race detector on every check; a full -race run over
 # the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/...
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/...
 
 .PHONY: race-all
 race-all:
@@ -26,5 +26,14 @@ vet:
 
 check: build vet test race
 
+# bench watches the hot path: the Explore microbenchmarks (allocs/op is
+# the regression guard for the exploration loop) plus the evaluation-engine
+# sweep, which rewrites BENCH_eval.json.
 bench:
+	$(GO) test -bench=BenchmarkExplore -benchmem ./internal/core/
+	$(GO) test -bench=BenchmarkLinkPrediction -benchmem ./internal/eval/
+	$(GO) run ./cmd/trbench -exp bench-eval -bench-out BENCH_eval.json
+
+.PHONY: bench-all
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

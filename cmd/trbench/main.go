@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +37,10 @@ func main() {
 		storeTopN = flag.Int("store-topn", cfg.StoreTopN, "per-topic list length kept per landmark")
 		queries   = flag.Int("queries", cfg.QueryNodes, "query nodes for the landmark-quality experiment")
 		seed      = flag.Uint64("seed", cfg.Seed, "experiment seed")
+		parallel  = flag.Int("parallel", cfg.Protocol.Parallelism, "evaluation worker count (0 = GOMAXPROCS, 1 = serial); results are parallelism-invariant")
 		format    = flag.String("format", "text", "output format: text or json")
 		dumpMet   = flag.Bool("metrics", false, "print collected preprocessing metrics (Prometheus text) after the runs")
+		benchOut  = flag.String("bench-out", "BENCH_eval.json", "output file for -exp bench-eval")
 	)
 	flag.Parse()
 
@@ -53,11 +56,36 @@ func main() {
 	cfg.StoreTopN = *storeTopN
 	cfg.QueryNodes = *queries
 	cfg.Seed = *seed
+	cfg.Protocol.Parallelism = *parallel
 	if *dumpMet {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 
 	r := experiments.NewRunner(cfg)
+
+	// bench-eval times the evaluation engine itself rather than
+	// reproducing a paper artifact; it prints the comparison and writes
+	// the machine-readable result next to the repository's other
+	// committed benchmark files.
+	if *exp == "bench-eval" {
+		res, err := r.BenchEval()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.String())
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchOut)
+		return
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = ids[:0]

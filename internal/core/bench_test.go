@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/authority"
+	"repro/internal/gen"
+	"repro/internal/topics"
+)
+
+// Inner-loop benchmarks of the two exploration modes. Run with -benchmem:
+// the allocs/op column is the regression guard for the hot path — map
+// mode should stay flat in frontier size across hops (reused slices, delta
+// free list) and dense mode should be allocation-free once a scratch or
+// pool is supplied.
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	ds := gen.RandomWith(2000, 30000, 9)
+	eng, err := NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkExploreMapMode(b *testing.B) {
+	eng := benchEngine(b)
+	ts := []topics.ID{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ExploreOpts(0, ts, ExploreOptions{MaxDepth: 3, Mode: MapMode})
+	}
+}
+
+func BenchmarkExploreDenseFreshScratch(b *testing.B) {
+	eng := benchEngine(b)
+	ts := []topics.ID{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Scratch nil: every exploration pays the n×k allocation+zeroing.
+		eng.ExploreOpts(0, ts, ExploreOptions{MaxDepth: 8, Mode: DenseMode})
+	}
+}
+
+func BenchmarkExploreDenseReusedScratch(b *testing.B) {
+	eng := benchEngine(b)
+	ts := []topics.ID{0}
+	s := NewScratch(eng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.ExploreOpts(0, ts, ExploreOptions{MaxDepth: 8, Mode: DenseMode, Scratch: s})
+	}
+}
+
+func BenchmarkExploreDensePooled(b *testing.B) {
+	eng := benchEngine(b)
+	ts := []topics.ID{0}
+	pool := NewScratchPoolFor(eng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pool.Get()
+		eng.ExploreOpts(0, ts, ExploreOptions{MaxDepth: 8, Mode: DenseMode, Scratch: s})
+		pool.Put(s)
+	}
+}

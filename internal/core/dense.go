@@ -32,18 +32,23 @@ type Scratch struct {
 	curTopoAB, nextTopoAB []float64
 	inCur, inNext         []bool
 	curList, nextList     []graph.NodeID
+	perTopic              []float64 // per-hop topic-mass accumulator, len k
 }
 
 // NewScratch sizes a scratch for the engine's graph and full vocabulary.
 func NewScratch(e *Engine) *Scratch {
-	n := e.g.NumNodes()
-	k := e.g.Vocabulary().Len()
+	return newScratchDims(e.g.NumNodes(), e.g.Vocabulary().Len())
+}
+
+// newScratchDims sizes a scratch for an n-node graph and k topics.
+func newScratchDims(n, k int) *Scratch {
 	return &Scratch{
 		n: n, k: k,
 		curSigma: make([]float64, n*k), nextSigma: make([]float64, n*k),
 		curTopoB: make([]float64, n), nextTopoB: make([]float64, n),
 		curTopoAB: make([]float64, n), nextTopoAB: make([]float64, n),
 		inCur: make([]bool, n), inNext: make([]bool, n),
+		perTopic: make([]float64, k),
 	}
 }
 
@@ -95,6 +100,8 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 		s.curList = s.curList[:0]
 	}
 	defer clearCur() // leave the scratch clean for the next call
+
+	rows := rowArena{k: k} // result rows, referenced by x.sigma
 
 	peakFrontier := 1
 	for depth := 1; depth <= maxDepth && len(s.curList) > 0; depth++ {
@@ -155,12 +162,15 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 
 		// Accumulate the hop and test convergence (Algorithm 1 l. 15).
 		var topoMass float64
-		perTopic := make([]float64, k)
+		perTopic := s.perTopic[:k]
+		for i := range perTopic {
+			perTopic[i] = 0
+		}
 		for _, v := range s.nextList {
 			vBase := int(v) * s.k
 			row, ok := x.sigma[v]
 			if !ok {
-				row = make([]float64, k)
+				row = rows.newRow()
 				x.sigma[v] = row
 				if v != src {
 					x.Reached = append(x.Reached, v)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -131,6 +131,26 @@ func ctxDone(ctx context.Context) bool {
 	return ctx != nil && ctx.Err() != nil
 }
 
+// rowArenaBlock is how many k-sized float rows an arena block holds.
+// Explorations hand out one row per reached node; block allocation turns
+// one malloc per node into one per block.
+const rowArenaBlock = 256
+
+// rowArena block-allocates zeroed k-float rows.
+type rowArena struct {
+	k     int
+	block []float64
+}
+
+func (a *rowArena) newRow() []float64 {
+	if len(a.block) < a.k {
+		a.block = make([]float64, a.k*rowArenaBlock)
+	}
+	row := a.block[:a.k:a.k]
+	a.block = a.block[a.k:]
+	return row
+}
+
 // ExploreOpts is Explore with per-call options.
 func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptions) *Exploration {
 	maxDepth := opts.MaxDepth
@@ -173,6 +193,26 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 	beta, alpha := e.params.Beta, e.params.Alpha
 	ab := alpha * beta
 
+	// Hop-local buffers live outside the loop so a deep exploration does
+	// not reallocate them every hop; retired *delta values are recycled
+	// through a free list, fresh ones come from block arenas (the per-hop
+	// maps are the only remaining per-hop allocation of this mode).
+	var curNodes, frontier []graph.NodeID
+	perTopic := make([]float64, k)
+	var free []*delta
+	var deltaBlock []delta
+	arena := rowArena{k: k}
+	rows := rowArena{k: k} // result rows, referenced by x.sigma
+	newDelta := func() *delta {
+		if len(deltaBlock) == 0 {
+			deltaBlock = make([]delta, rowArenaBlock)
+		}
+		d := &deltaBlock[0]
+		deltaBlock = deltaBlock[1:]
+		d.sigma = arena.newRow()
+		return d
+	}
+
 	peakFrontier := 1
 	for depth := 1; depth <= maxDepth && len(cur) > 0; depth++ {
 		if ctxDone(opts.Ctx) {
@@ -182,11 +222,11 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 		next := make(map[graph.NodeID]*delta, len(cur)*2)
 		// Expand frontier nodes in sorted order: per-target float sums
 		// must not depend on map iteration order.
-		curNodes := make([]graph.NodeID, 0, len(cur))
+		curNodes = curNodes[:0]
 		for w := range cur {
 			curNodes = append(curNodes, w)
 		}
-		sort.Slice(curNodes, func(i, j int) bool { return curNodes[i] < curNodes[j] })
+		slices.Sort(curNodes)
 		for _, w := range curNodes {
 			dw := cur[w]
 			if opts.Stop != nil && w != src && opts.Stop(w) {
@@ -196,7 +236,15 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 			for i, v := range dsts {
 				dv := next[v]
 				if dv == nil {
-					dv = &delta{sigma: make([]float64, k)}
+					if n := len(free); n > 0 {
+						dv, free = free[n-1], free[:n-1]
+						for ti := range dv.sigma {
+							dv.sigma[ti] = 0
+						}
+						dv.topoB, dv.topoAB = 0, 0
+					} else {
+						dv = newDelta()
+					}
 					next[v] = dv
 				}
 				sr := e.simRow(lbls[i])
@@ -216,21 +264,23 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 		// follows sorted node order so floating-point results (and hence
 		// near-tie rankings) are reproducible across runs — Go map
 		// iteration order is randomized.
-		frontier := make([]graph.NodeID, 0, len(next))
+		frontier = frontier[:0]
 		for v := range next {
 			frontier = append(frontier, v)
 		}
 		if len(frontier) > peakFrontier {
 			peakFrontier = len(frontier)
 		}
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		slices.Sort(frontier)
 		var maxTopicMass, topoMass float64
-		perTopic := make([]float64, k)
+		for i := range perTopic {
+			perTopic[i] = 0
+		}
 		for _, v := range frontier {
 			dv := next[v]
 			row, ok := x.sigma[v]
 			if !ok {
-				row = make([]float64, k)
+				row = rows.newRow()
 				x.sigma[v] = row
 				if v != src {
 					x.Reached = append(x.Reached, v)
@@ -257,6 +307,11 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 		if maxTopicMass < e.params.Tol && topoMass/denom < e.params.Tol {
 			x.Converged = true
 			break
+		}
+		// The expanded frontier's deltas are dead once cur is replaced;
+		// recycle them for the next hop.
+		for _, w := range curNodes {
+			free = append(free, cur[w])
 		}
 		cur = next
 	}

@@ -112,6 +112,10 @@ type Manager struct {
 	lms     []graph.NodeID
 	stale   map[graph.NodeID]bool
 	stats   Stats
+	// pool recycles dense exploration buffers across landmark refreshes
+	// and exact queries. Updates never change the node count or the
+	// vocabulary, so one pool serves every engine generation.
+	pool *core.ScratchPool
 
 	// Instrumentation: nil registry means no recording. The counters are
 	// resolved once at Instrument time so Apply's hot path is pure
@@ -144,8 +148,9 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
 	}
+	m.pool = core.NewScratchPoolFor(m.eng)
 	m.Instrument(cfg.Metrics)
-	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics})
+	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics, Pool: m.pool})
 	m.store = store
 	return m, nil
 }
@@ -357,7 +362,7 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 	if len(lms) == 0 {
 		return nil
 	}
-	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN, Metrics: m.reg})
+	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN, Metrics: m.reg, Pool: m.pool})
 	for _, lm := range lms {
 		if d := fresh.Get(lm); d != nil {
 			if err := m.store.Put(d); err != nil {
@@ -413,7 +418,7 @@ func (m *Manager) RecommendExact(u graph.NodeID, t topics.ID, n int) []ranking.S
 func (m *Manager) RecommendExactCtx(ctx context.Context, u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var opts []core.RecommenderOption
+	opts := []core.RecommenderOption{core.WithScratchPool(m.pool)}
 	if m.reg != nil {
 		opts = append(opts, core.WithMetrics(m.reg))
 	}

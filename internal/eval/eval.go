@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/topics"
 )
 
@@ -38,6 +39,17 @@ type Protocol struct {
 	Trials int
 	// Seed drives edge selection and negative sampling.
 	Seed uint64
+	// Parallelism is the worker count of RunLinkPrediction: per-trial
+	// method builds and the (test edge × method) rankings run on this many
+	// goroutines. 0 uses GOMAXPROCS; 1 runs the serial reference path.
+	// Results are parallelism-invariant: every random draw happens in
+	// serial protocol order and floating-point sums are reduced in a fixed
+	// index order, so curves are bit-identical at any setting.
+	Parallelism int
+	// Metrics, when non-nil, receives the evaluation-path series:
+	// eval_rankings_total (rankings scored) and eval_worker_busy (workers
+	// currently scoring).
+	Metrics *metrics.Registry
 }
 
 // DefaultProtocol returns the paper's settings with a reduced trial count
@@ -50,6 +62,9 @@ func DefaultProtocol() Protocol {
 func (p Protocol) Validate() error {
 	if p.TestSize < 1 || p.Negatives < 1 || p.Trials < 1 {
 		return fmt.Errorf("eval: TestSize, Negatives and Trials must be positive")
+	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("eval: Parallelism must be >= 0, got %d", p.Parallelism)
 	}
 	return nil
 }

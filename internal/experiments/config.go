@@ -122,6 +122,16 @@ func (r *Runner) DBLPDataset() (*gen.Dataset, error) {
 	return db, err
 }
 
+// protocol returns the configured link-prediction protocol with the
+// runner's metrics registry attached, so every evaluation sweep feeds the
+// eval_rankings_total / eval_worker_busy series. Parallelism rides along
+// from the config (trbench -parallel).
+func (r *Runner) protocol() eval.Protocol {
+	p := r.cfg.Protocol
+	p.Metrics = r.cfg.Metrics
+	return p
+}
+
 // trFactory builds one Tr-variant method factory; the engine is
 // reconstructed per trial so authority sees only the reduced graph.
 func (r *Runner) trFactory(name string, variant core.Variant, sim *topics.SimMatrix) eval.MethodFactory {

@@ -45,7 +45,7 @@ func (r *Runner) ExtDBLPPipe() (*DBLPPipeResult, error) {
 		LabelAccuracy: res.LabelAccuracy,
 		Recall10:      map[string]float64{},
 	}
-	proto := r.cfg.Protocol
+	proto := r.protocol()
 	proto.Trials = 1
 	curves, err := eval.RunLinkPrediction(res.Dataset.Graph, proto, r.coreMethods(res.Dataset), []int{10}, topics.None)
 	if err != nil {

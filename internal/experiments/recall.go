@@ -61,7 +61,7 @@ func (r *Runner) Fig7() (*RecallResult, error) {
 }
 
 func (r *Runner) recallOn(ds *gen.Dataset, methods []eval.MethodFactory, ns []int) (*RecallResult, error) {
-	curves, err := eval.RunLinkPrediction(ds.Graph, r.cfg.Protocol, methods, ns, topics.None)
+	curves, err := eval.RunLinkPrediction(ds.Graph, r.protocol(), methods, ns, topics.None)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ func (r *Runner) Fig8() (*Fig8Result, error) {
 		} else {
 			filter = eval.TargetPopularityFilter(high, 1<<30)
 		}
-		curves, err := eval.RunLinkPrediction(s.ds.Graph, r.cfg.Protocol, r.coreMethods(s.ds), []int{10}, topics.None, filter)
+		curves, err := eval.RunLinkPrediction(s.ds.Graph, r.protocol(), r.coreMethods(s.ds), []int{10}, topics.None, filter)
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s %s: %w", s.name, s.band, err)
 		}
@@ -185,7 +185,7 @@ func (r *Runner) Fig9() (*Fig9Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("fig9: vocabulary lacks topic %q", name)
 		}
-		curves, err := eval.RunLinkPrediction(tw.Graph, r.cfg.Protocol, r.coreMethods(tw), []int{10}, t, eval.TopicFilter(t))
+		curves, err := eval.RunLinkPrediction(tw.Graph, r.protocol(), r.coreMethods(tw), []int{10}, t, eval.TopicFilter(t))
 		if err != nil {
 			return nil, fmt.Errorf("fig9 topic %s: %w", name, err)
 		}

@@ -56,4 +56,11 @@ func (r *Recommender) Recommend(u graph.NodeID, t topics.ID, n int) []ranking.Sc
 	return r.inner.Recommend(u, t, n)
 }
 
-var _ ranking.Recommender = (*Recommender)(nil)
+// UseScratchPool implements core.ScratchUser: explorations draw dense
+// buffers from pool. Not safe to call concurrently with queries.
+func (r *Recommender) UseScratchPool(pool *core.ScratchPool) { r.inner.UseScratchPool(pool) }
+
+var (
+	_ ranking.Recommender = (*Recommender)(nil)
+	_ core.ScratchUser    = (*Recommender)(nil)
+)

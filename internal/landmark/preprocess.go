@@ -22,6 +22,10 @@ type PreprocessConfig struct {
 	// Table 5's quantities live: a per-landmark compute-time histogram, a
 	// processed-landmark counter and a worker-utilization gauge.
 	Metrics *metrics.Registry
+	// Pool, when non-nil, lends each worker its dense exploration buffers
+	// instead of allocating fresh ones — repeated refresh runs (the
+	// dynamic manager) stop paying NewScratch's n×k zeroing cost.
+	Pool *core.ScratchPool
 }
 
 // PreprocessStats reports the preprocessing cost, the quantities of
@@ -77,7 +81,15 @@ func Preprocess(eng *core.Engine, landmarks []graph.NodeID, cfg PreprocessConfig
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := core.NewScratch(eng) // one dense buffer per worker
+			// One dense buffer per worker, borrowed from the pool when
+			// one is supplied.
+			var scratch *core.Scratch
+			if cfg.Pool != nil {
+				scratch = cfg.Pool.Get()
+				defer cfg.Pool.Put(scratch)
+			} else {
+				scratch = core.NewScratch(eng)
+			}
 			for l := range jobs {
 				t0 := time.Now()
 				x := eng.ExploreOpts(l, nil, core.ExploreOptions{

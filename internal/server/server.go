@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/katz"
@@ -41,6 +42,10 @@ type Server struct {
 	cache      *resultCache
 	reg        *metrics.Registry
 	reqTimeout time.Duration
+	// pool recycles exploration scratches across baseline rebuilds; the
+	// graph's node count and vocabulary survive updates, so one pool
+	// outlives every rebuilt recommender.
+	pool *core.ScratchPool
 
 	// Metric handles, resolved once at construction.
 	httpReqs        *metrics.CounterVec
@@ -86,6 +91,8 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 		beta:       beta,
 		cache:      newResultCache(4096),
 		reqTimeout: DefaultRequestTimeout,
+		pool: core.NewScratchPool(mgr.Graph().NumNodes(),
+			mgr.Graph().Vocabulary().Len()),
 	}
 	for _, o := range opts {
 		o(s)
@@ -312,6 +319,7 @@ func (s *Server) baseline(method string) (ranking.Recommender, error) {
 			if err != nil {
 				return nil, err
 			}
+			rec.UseScratchPool(s.pool)
 			s.katzRec = rec
 			s.recordRebuild("katz", time.Since(start))
 		}

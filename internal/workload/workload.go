@@ -16,6 +16,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -116,12 +117,19 @@ func Run(rec ranking.Recommender, queries []Query, concurrency int) Report {
 	empty := make([]bool, len(queries))
 	start := time.Now()
 	var wg sync.WaitGroup
-	next := make(chan int)
+	// Atomic work-stealing counter instead of a channel: an unbuffered
+	// send/recv pair per query is measurable overhead against the
+	// sub-millisecond methods this harness compares.
+	var next atomic.Int64
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
 				q := queries[i]
 				t0 := time.Now()
 				res := rec.Recommend(q.User, q.Topic, q.TopN)
@@ -130,10 +138,6 @@ func Run(rec ranking.Recommender, queries []Query, concurrency int) Report {
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	wall := time.Since(start)
 
