@@ -1,7 +1,7 @@
 # Tier-1 verification: `make check` is what CI (and the next PR) runs.
 GO ?= go
 
-.PHONY: all build test race vet check bench
+.PHONY: all build test race vet check bench fuzz
 
 all: check
 
@@ -11,11 +11,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-hardened packages: the serving path and the metric registry are
-# exercised under the race detector on every check; a full -race run over
-# the repository is `make race-all`.
+# Race-hardened packages: the serving path, the metric registry, the
+# graph views and the scoring engine (its shared similarity cache is hit
+# concurrently) are exercised under the race detector on every check; a
+# full -race run over the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/...
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/...
 
 .PHONY: race-all
 race-all:
@@ -27,12 +28,20 @@ vet:
 check: build vet test race
 
 # bench watches the hot path: the Explore microbenchmarks (allocs/op is
-# the regression guard for the exploration loop) plus the evaluation-engine
-# sweep, which rewrites BENCH_eval.json.
+# the regression guard for the exploration loop), the overlay-vs-rebuild
+# delta apply, plus the evaluation-engine sweep and graph-delta
+# comparison, which rewrite BENCH_eval.json and BENCH_graph.json.
 bench:
 	$(GO) test -bench=BenchmarkExplore -benchmem ./internal/core/
+	$(GO) test -bench=BenchmarkWithoutEdges -benchmem ./internal/graph/
 	$(GO) test -bench=BenchmarkLinkPrediction -benchmem ./internal/eval/
 	$(GO) run ./cmd/trbench -exp bench-eval -bench-out BENCH_eval.json
+	$(GO) run ./cmd/trbench -exp bench-graph -bench-out BENCH_graph.json
+
+# fuzz smoke-runs the overlay equivalence fuzzer: random edge deltas must
+# leave the overlay observationally identical to a full rebuild.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzOverlayEquivalence -fuzztime=10s ./internal/core/
 
 .PHONY: bench-all
 bench-all:

@@ -41,7 +41,7 @@ func trRecallAt10(b *testing.B, ds *gen.Dataset, params core.Params, depth int) 
 	proto.Negatives = 500
 	factory := eval.MethodFactory{
 		Name: "Tr",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			eng, err := core.NewEngine(g, authority.Compute(g), ds.Sim, params)
 			if err != nil {
 				return nil, err

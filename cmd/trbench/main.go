@@ -40,7 +40,7 @@ func main() {
 		parallel  = flag.Int("parallel", cfg.Protocol.Parallelism, "evaluation worker count (0 = GOMAXPROCS, 1 = serial); results are parallelism-invariant")
 		format    = flag.String("format", "text", "output format: text or json")
 		dumpMet   = flag.Bool("metrics", false, "print collected preprocessing metrics (Prometheus text) after the runs")
-		benchOut  = flag.String("bench-out", "BENCH_eval.json", "output file for -exp bench-eval")
+		benchOut  = flag.String("bench-out", "", "output file for -exp bench-eval / bench-graph (default BENCH_eval.json / BENCH_graph.json)")
 	)
 	flag.Parse()
 
@@ -63,12 +63,28 @@ func main() {
 
 	r := experiments.NewRunner(cfg)
 
-	// bench-eval times the evaluation engine itself rather than
-	// reproducing a paper artifact; it prints the comparison and writes
+	// bench-eval and bench-graph time the engines themselves rather than
+	// reproducing a paper artifact; they print the comparison and write
 	// the machine-readable result next to the repository's other
 	// committed benchmark files.
-	if *exp == "bench-eval" {
-		res, err := r.BenchEval()
+	if *exp == "bench-eval" || *exp == "bench-graph" {
+		var (
+			res interface{ String() string }
+			err error
+			out = *benchOut
+		)
+		switch *exp {
+		case "bench-eval":
+			res, err = r.BenchEval()
+			if out == "" {
+				out = "BENCH_eval.json"
+			}
+		case "bench-graph":
+			res, err = r.BenchGraph()
+			if out == "" {
+				out = "BENCH_graph.json"
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
 			os.Exit(1)
@@ -79,11 +95,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "trbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *benchOut)
+		fmt.Printf("wrote %s\n", out)
 		return
 	}
 	ids := []string{*exp}

@@ -18,6 +18,7 @@ package authority
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/topics"
@@ -29,10 +30,14 @@ type Table struct {
 	n      int
 	scores []float64 // n × T, row-major by node
 	maxFol []uint32  // per topic: max_v |Γv(t)|
+	// all is Recompute's n × T follower-count scratch, kept across calls:
+	// periodic full recomputes under dynamic batches dominated allocation
+	// before it was reused.
+	all []uint32
 }
 
-// Compute builds the authority table for g.
-func Compute(g *graph.Graph) *Table {
+// Compute builds the authority table for any graph view.
+func Compute(g graph.View) *Table {
 	t := &Table{
 		vocab:  g.Vocabulary(),
 		n:      g.NumNodes(),
@@ -43,10 +48,10 @@ func Compute(g *graph.Graph) *Table {
 	return t
 }
 
-// Recompute refreshes every score from the graph's current topology. The
-// graph must have the same node count and vocabulary the table was built
+// Recompute refreshes every score from the view's current topology. The
+// view must have the same node count and vocabulary the table was built
 // for.
-func (t *Table) Recompute(g *graph.Graph) {
+func (t *Table) Recompute(g graph.View) {
 	T := t.vocab.Len()
 	counts := make([]uint32, T)
 
@@ -54,7 +59,10 @@ func (t *Table) Recompute(g *graph.Graph) {
 	for i := range t.maxFol {
 		t.maxFol[i] = 0
 	}
-	all := make([]uint32, t.n*T)
+	if len(t.all) != t.n*T {
+		t.all = make([]uint32, t.n*T)
+	}
+	all := t.all
 	for u := 0; u < t.n; u++ {
 		g.FollowerTopicCounts(graph.NodeID(u), counts)
 		copy(all[u*T:(u+1)*T], counts)
@@ -95,25 +103,48 @@ func (t *Table) Recompute(g *graph.Graph) {
 // re-computed periodically", with the log damping any drift).
 //
 // g must be the graph state *after* the change.
-func (t *Table) ApplyEdgeChange(g *graph.Graph, dst graph.NodeID) {
+func (t *Table) ApplyEdgeChange(g graph.View, dst graph.NodeID) {
+	t.ApplyDelta(g, []graph.NodeID{dst})
+}
+
+// ApplyDelta is the batch form of ApplyEdgeChange: after an edge delta is
+// layered over the graph (an overlay apply), only the destinations of the
+// changed edges have different follower sets, so only their rows — and
+// the per-topic maxima they may raise — are refreshed. dsts may contain
+// duplicates; g must be the view *after* the delta. Cost is
+// O(|dsts| · (deg + T)) regardless of graph size.
+//
+// Maxima raised here immediately sharpen the raised topic's global
+// factor for the touched rows; rows of untouched nodes keep the factor
+// they were computed with until the next Recompute, exactly the periodic
+// refresh drift the paper accepts.
+func (t *Table) ApplyDelta(g graph.View, dsts []graph.NodeID) {
+	if len(dsts) == 0 {
+		return
+	}
 	T := t.vocab.Len()
 	counts := make([]uint32, T)
-	g.FollowerTopicCounts(dst, counts)
-	for i, c := range counts {
-		if c > t.maxFol[i] {
-			t.maxFol[i] = c
+	uniq := slices.Clone(dsts)
+	slices.Sort(uniq)
+	uniq = slices.Compact(uniq)
+	for _, dst := range uniq {
+		g.FollowerTopicCounts(dst, counts)
+		for i, c := range counts {
+			if c > t.maxFol[i] {
+				t.maxFol[i] = c
+			}
 		}
-	}
-	total := float64(g.InDegree(dst))
-	row := t.scores[int(dst)*T : (int(dst)+1)*T]
-	for i := 0; i < T; i++ {
-		c := float64(counts[i])
-		logMax := math.Log(1 + float64(t.maxFol[i]))
-		if c == 0 || total == 0 || logMax == 0 {
-			row[i] = 0
-			continue
+		total := float64(g.InDegree(dst))
+		row := t.scores[int(dst)*T : (int(dst)+1)*T]
+		for i := 0; i < T; i++ {
+			c := float64(counts[i])
+			logMax := math.Log(1 + float64(t.maxFol[i]))
+			if c == 0 || total == 0 || logMax == 0 {
+				row[i] = 0
+				continue
+			}
+			row[i] = (c / total) * (math.Log(1+c) / logMax)
 		}
-		row[i] = (c / total) * (math.Log(1+c) / logMax)
 	}
 }
 

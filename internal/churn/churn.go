@@ -41,7 +41,7 @@ func DefaultConfig() Config {
 // Generate builds the event stream for a graph. Events reference only
 // valid nodes; removals target either links created earlier in the stream
 // (short-lived links) or edges of the base graph.
-func Generate(g *graph.Graph, cfg Config) ([]dynamic.Update, error) {
+func Generate(g graph.View, cfg Config) ([]dynamic.Update, error) {
 	if cfg.Events <= 0 {
 		return nil, fmt.Errorf("churn: Events must be positive")
 	}

@@ -27,6 +27,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/authority"
 	"repro/internal/graph"
@@ -105,29 +106,79 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Engine scores candidates over one frozen graph. An Engine is immutable
-// and safe for concurrent use; per-call scratch buffers are either passed
-// in explicitly or allocated on demand.
+// simCache memoizes, per distinct edge label, the vector
+// max_{t'∈label} sim(t', t) for every topic t. Edge labels repeat
+// massively (they are small intersections of profiles), so this turns the
+// per-edge-per-topic bit scan of Equation 3 into one lookup per edge.
+//
+// base is frozen at construction with every label of the engine's graph;
+// extra memoizes labels that appear later — overlay-only labels from
+// dynamic edge batches, or hand-made paths on other graphs — behind a
+// sync.Map so concurrent queries never recompute a row more than a
+// handful of times and never race. A cache is shared across every engine
+// derived from the same base (the rows depend only on the similarity
+// matrix, not on the graph), so attaching an overlay reuses all prior
+// rows and only ever extends the cache.
+type simCache struct {
+	sim   *topics.SimMatrix
+	T     int
+	base  map[topics.Set][]float64
+	extra sync.Map // topics.Set -> []float64
+}
+
+func (c *simCache) compute(lbl topics.Set) []float64 {
+	row := make([]float64, c.T)
+	for t := 0; t < c.T; t++ {
+		row[t] = c.sim.MaxSim(lbl, topics.ID(t))
+	}
+	return row
+}
+
+// row returns the memoized per-topic similarity factors of lbl.
+func (c *simCache) row(lbl topics.Set) []float64 {
+	if r, ok := c.base[lbl]; ok {
+		return r
+	}
+	if r, ok := c.extra.Load(lbl); ok {
+		return r.([]float64)
+	}
+	r, _ := c.extra.LoadOrStore(lbl, c.compute(lbl))
+	return r.([]float64)
+}
+
+// ensure precomputes lbl's row if absent (overlay attach path).
+func (c *simCache) ensure(lbl topics.Set) {
+	if _, ok := c.base[lbl]; ok {
+		return
+	}
+	if _, ok := c.extra.Load(lbl); ok {
+		return
+	}
+	c.extra.LoadOrStore(lbl, c.compute(lbl))
+}
+
+// Engine scores candidates over one immutable graph View — a frozen CSR
+// or an overlay snapshot. An Engine is immutable and safe for concurrent
+// use; per-call scratch buffers are either passed in explicitly or
+// allocated on demand.
 type Engine struct {
-	g      *graph.Graph
+	g      graph.View
 	auth   *authority.Table
 	sim    *topics.SimMatrix
 	params Params
 
-	// simRows caches, per distinct edge label occurring in the graph, the
-	// vector max_{t'∈label} sim(t', t) for every topic t. Edge labels
-	// repeat massively (they are small intersections of profiles), so
-	// this turns the per-edge-per-topic bit scan of Equation 3 into one
-	// map lookup per edge. nil when the variant ignores similarity.
-	simRows map[topics.Set][]float64
+	// simc caches per-label similarity rows; nil when the variant ignores
+	// similarity. Shared, not copied, by engines derived via Derive.
+	simc *simCache
 	// ones is the all-ones row used by variants without a similarity or
 	// authority factor.
 	ones []float64
 }
 
-// NewEngine assembles an engine. auth may be nil for variants that do not
-// use authority; sim may be nil for variants that do not use similarity.
-func NewEngine(g *graph.Graph, auth *authority.Table, sim *topics.SimMatrix, params Params) (*Engine, error) {
+// NewEngine assembles an engine over any graph View. auth may be nil for
+// variants that do not use authority; sim may be nil for variants that do
+// not use similarity.
+func NewEngine(g graph.View, auth *authority.Table, sim *topics.SimMatrix, params Params) (*Engine, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,41 +200,55 @@ func NewEngine(g *graph.Graph, auth *authority.Table, sim *topics.SimMatrix, par
 		e.ones[i] = 1
 	}
 	if needSim {
-		e.simRows = make(map[topics.Set][]float64)
+		e.simc = &simCache{sim: sim, T: T, base: make(map[topics.Set][]float64)}
 		for u := 0; u < g.NumNodes(); u++ {
 			_, lbls := g.Out(graph.NodeID(u))
 			for _, lbl := range lbls {
-				if _, ok := e.simRows[lbl]; ok {
-					continue
+				if _, ok := e.simc.base[lbl]; !ok {
+					e.simc.base[lbl] = e.simc.compute(lbl)
 				}
-				row := make([]float64, T)
-				for t := 0; t < T; t++ {
-					row[t] = sim.MaxSim(lbl, topics.ID(t))
-				}
-				e.simRows[lbl] = row
 			}
 		}
 	}
 	return e, nil
 }
 
+// Derive builds an engine over another View of the same vocabulary —
+// typically an overlay snapshot layered over (a descendant of) the
+// engine's graph — reusing the similarity-row cache instead of rescanning
+// every edge. When v is an overlay, the rows its delta rebuilt are the
+// only place a label unseen by the cache can hide, so exactly those are
+// scanned; anything missed beyond that is memoized on first use. auth is
+// the authority table matching v (nil keeps the engine's, for variants
+// that ignore authority).
+func (e *Engine) Derive(v graph.View, auth *authority.Table) (*Engine, error) {
+	if v.Vocabulary().Len() != e.g.Vocabulary().Len() {
+		return nil, fmt.Errorf("core: derived view has %d topics, engine was built for %d",
+			v.Vocabulary().Len(), e.g.Vocabulary().Len())
+	}
+	if auth == nil {
+		auth = e.auth
+	}
+	needAuth := e.params.Variant == TrFull || e.params.Variant == TrNoSim
+	if needAuth && auth == nil {
+		return nil, fmt.Errorf("core: variant %v requires an authority table", e.params.Variant)
+	}
+	ne := &Engine{g: v, auth: auth, sim: e.sim, params: e.params, simc: e.simc, ones: e.ones}
+	if ne.simc != nil {
+		if ov, ok := v.(*graph.Overlay); ok {
+			ov.PatchedLabels(ne.simc.ensure)
+		}
+	}
+	return ne, nil
+}
+
 // simRow returns the per-topic similarity factors of an edge label (ones
 // when the variant ignores similarity).
 func (e *Engine) simRow(lbl topics.Set) []float64 {
-	if e.simRows == nil {
+	if e.simc == nil {
 		return e.ones
 	}
-	if row, ok := e.simRows[lbl]; ok {
-		return row
-	}
-	// Label unseen at construction (possible only for hand-made paths on
-	// other graphs): compute on the fly.
-	T := e.g.Vocabulary().Len()
-	row := make([]float64, T)
-	for t := 0; t < T; t++ {
-		row[t] = e.sim.MaxSim(lbl, topics.ID(t))
-	}
-	return row
+	return e.simc.row(lbl)
 }
 
 // authRow returns the per-topic authority factors of a node (ones when
@@ -196,7 +261,7 @@ func (e *Engine) authRow(v graph.NodeID) []float64 {
 }
 
 // Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+func (e *Engine) Graph() graph.View { return e.g }
 
 // Params returns the engine's parameters.
 func (e *Engine) Params() Params { return e.params }

@@ -15,7 +15,7 @@ type Path []graph.NodeID
 func (p Path) Len() int { return len(p) - 1 }
 
 // Valid reports whether every consecutive pair is an edge of g.
-func (p Path) Valid(g *graph.Graph) bool {
+func (p Path) Valid(g graph.View) bool {
 	if len(p) < 2 {
 		return false
 	}

@@ -14,7 +14,7 @@ import (
 // iters power-iteration steps are performed (20–50 is plenty for social
 // graphs, whose spectral gap is large). The estimate is the final
 // Rayleigh-style ratio ‖Ax‖/‖x‖.
-func SpectralRadius(g *graph.Graph, iters int) float64 {
+func SpectralRadius(g graph.View, iters int) float64 {
 	n := g.NumNodes()
 	if n == 0 {
 		return 0
@@ -60,7 +60,7 @@ func SpectralRadius(g *graph.Graph, iters int) float64 {
 // admissible β for the graph, 1/σ_max(A). Any β below it (the paper's
 // 0.0005 is far below for realistic graphs) guarantees convergence of the
 // iterative computation.
-func MaxBeta(g *graph.Graph) float64 {
+func MaxBeta(g graph.View) float64 {
 	r := SpectralRadius(g, 30)
 	if r == 0 {
 		return 1

@@ -33,7 +33,7 @@ type Oracle struct {
 }
 
 // Build runs forward and reverse BFS from every landmark.
-func Build(g *graph.Graph, lms []graph.NodeID) (*Oracle, error) {
+func Build(g graph.View, lms []graph.NodeID) (*Oracle, error) {
 	if len(lms) == 0 {
 		return nil, fmt.Errorf("distoracle: no landmarks")
 	}
@@ -88,7 +88,7 @@ func (o *Oracle) Estimate(u, v graph.NodeID) (int, bool) {
 
 // Exact computes the true BFS distance (for evaluation), with ok=false
 // when v is unreachable from u.
-func Exact(g *graph.Graph, u, v graph.NodeID) (int, bool) {
+func Exact(g graph.View, u, v graph.NodeID) (int, bool) {
 	dist := -1
 	graph.BFSOut(g, u, g.NumNodes(), func(w graph.NodeID, d int) bool {
 		if w == v {
@@ -108,7 +108,7 @@ func Exact(g *graph.Graph, u, v graph.NodeID) (int, bool) {
 // approximation-quality metric. pairs gives the sample; the function
 // returns the mean of (estimate − exact) / exact over pairs the oracle
 // can answer, plus the answered fraction.
-func (o *Oracle) Evaluate(g *graph.Graph, pairs [][2]graph.NodeID) (meanRelErr, coverage float64) {
+func (o *Oracle) Evaluate(g graph.View, pairs [][2]graph.NodeID) (meanRelErr, coverage float64) {
 	sum, n, answered := 0.0, 0, 0
 	for _, p := range pairs {
 		exact, ok := Exact(g, p[0], p[1])

@@ -36,7 +36,7 @@ type Assignment struct {
 }
 
 // Validate checks the assignment covers the graph.
-func (a Assignment) Validate(g *graph.Graph) error {
+func (a Assignment) Validate(g graph.View) error {
 	if len(a.Of) != g.NumNodes() {
 		return fmt.Errorf("distrib: assignment covers %d nodes, graph has %d", len(a.Of), g.NumNodes())
 	}
@@ -59,7 +59,7 @@ func (a Assignment) Sizes() []int {
 
 // CutEdges counts edges whose endpoints live on different partitions —
 // every such edge is a potential network transfer during exploration.
-func CutEdges(g *graph.Graph, a Assignment) int {
+func CutEdges(g graph.View, a Assignment) int {
 	cut := 0
 	for u := 0; u < g.NumNodes(); u++ {
 		dsts, _ := g.Out(graph.NodeID(u))
@@ -75,7 +75,7 @@ func CutEdges(g *graph.Graph, a Assignment) int {
 
 // HashPartition assigns nodes round-robin by id: the connectivity-blind
 // baseline.
-func HashPartition(g *graph.Graph, parts int) Assignment {
+func HashPartition(g graph.View, parts int) Assignment {
 	a := Assignment{Of: make([]int, g.NumNodes()), Parts: parts}
 	for u := range a.Of {
 		a.Of[u] = u % parts
@@ -88,7 +88,7 @@ func HashPartition(g *graph.Graph, parts int) Assignment {
 // out- and in-neighbors of its frontier (capped to keep sizes balanced),
 // so densely connected regions end up co-located. Unreached nodes are
 // assigned round-robin at the end.
-func ConnectivityPartition(g *graph.Graph, parts int, seed uint64) Assignment {
+func ConnectivityPartition(g graph.View, parts int, seed uint64) Assignment {
 	n := g.NumNodes()
 	a := Assignment{Of: make([]int, n), Parts: parts}
 	for u := range a.Of {

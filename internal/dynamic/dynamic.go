@@ -3,12 +3,16 @@
 // changes. "Many following links have a short lifespan. This graph
 // dynamicity may impact the scores stored by the landmarks."
 //
-// A Manager owns the current frozen graph, its authority table and the
-// landmark store. Follow/unfollow updates are applied in batches: the
-// graph is rebuilt (frozen graphs stay immutable and traversal-friendly),
-// the authority table is recomputed, and the landmarks whose stored
-// recommendations may have changed are identified. Three refresh
-// strategies trade staleness for preprocessing work:
+// A Manager owns the current graph view, its authority table and the
+// landmark store. Follow/unfollow updates are applied in batches as
+// O(|batch|) overlay snapshots over the immutable base — no CSR rebuild —
+// and the overlay stack is folded back into a fresh frozen graph only
+// when its accumulated delta crosses a compaction threshold. Each Apply
+// installs a new immutable epoch (view + authority + engine) under the
+// manager's lock, so readers always see a consistent snapshot. The
+// authority table is patched incrementally for small batches, and the
+// landmarks whose stored recommendations may have changed are identified.
+// Three refresh strategies trade staleness for preprocessing work:
 //
 //   - Eager: every affected landmark is re-explored immediately;
 //   - Lazy: affected landmarks are only marked stale; a stale landmark is
@@ -78,6 +82,15 @@ type Config struct {
 	Strategy Strategy
 	// StaleBound triggers the Threshold strategy.
 	StaleBound int
+	// CompactDepth bounds the overlay stack: once Apply would leave this
+	// many overlay layers above the bottom CSR, the stack is folded into
+	// a fresh frozen graph. <= 0 uses 32.
+	CompactDepth int
+	// CompactFraction triggers compaction once the accumulated edge delta
+	// reaches this fraction of the bottom CSR's edge count (overlay reads
+	// degrade gracefully, but a large delta wastes memory and map
+	// lookups). <= 0 uses 0.25.
+	CompactFraction float64
 	// Metrics, when non-nil, receives maintenance counters and gauges
 	// (batches, edge changes, refreshes, stale landmarks) plus the
 	// preprocessing timings of every refresh. Equivalent to calling
@@ -96,22 +109,33 @@ type Stats struct {
 	Refreshes int
 	// StaleNow is the current number of stale landmarks.
 	StaleNow int
+	// Compactions counts overlay stacks folded back into a fresh CSR.
+	Compactions int
+	// OverlayDepth is the current overlay layer count above the bottom
+	// CSR (0 right after a compaction or before any update).
+	OverlayDepth int
+	// OverlayDelta is the edge-change count the overlay stack has
+	// accumulated since the bottom CSR was frozen.
+	OverlayDelta int
+	// Epoch counts view installs (one per Apply, plus one per
+	// compaction): the serving path hot-swaps to a new immutable epoch
+	// at each increment.
+	Epoch uint64
 }
 
 // Manager maintains a queryable recommendation state under updates.
 // Methods are safe for one writer OR many readers; Apply must not run
 // concurrently with queries.
 type Manager struct {
-	mu      sync.Mutex
-	cfg     Config
-	builder *graph.Builder
-	g       *graph.Graph
-	auth    *authority.Table
-	eng     *core.Engine
-	store   *landmark.Store
-	lms     []graph.NodeID
-	stale   map[graph.NodeID]bool
-	stats   Stats
+	mu    sync.Mutex
+	cfg   Config
+	view  graph.View // current epoch: the bottom CSR or an overlay stack
+	auth  *authority.Table
+	eng   *core.Engine
+	store *landmark.Store
+	lms   []graph.NodeID
+	stale map[graph.NodeID]bool
+	stats Stats
 	// pool recycles dense exploration buffers across landmark refreshes
 	// and exact queries. Updates never change the node count or the
 	// vocabulary, so one pool serves every engine generation.
@@ -125,6 +149,7 @@ type Manager struct {
 	mEdgesAdded   *metrics.Counter
 	mEdgesRemoved *metrics.Counter
 	mRefreshes    *metrics.Counter
+	mCompactions  *metrics.Counter
 }
 
 // NewManager preprocesses the initial graph and landmark set.
@@ -138,13 +163,18 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if cfg.StaleBound <= 0 {
 		cfg.StaleBound = len(lms)/4 + 1
 	}
+	if cfg.CompactDepth <= 0 {
+		cfg.CompactDepth = 32
+	}
+	if cfg.CompactFraction <= 0 {
+		cfg.CompactFraction = 0.25
+	}
 	m := &Manager{
 		cfg:   cfg,
-		g:     g,
+		view:  g,
 		lms:   append([]graph.NodeID(nil), lms...),
 		stale: make(map[graph.NodeID]bool),
 	}
-	m.builder = builderFrom(g)
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
 	}
@@ -171,10 +201,12 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mEdgesAdded = reg.Counter("dynamic_edges_added_total", "Follow edges added by updates.")
 	m.mEdgesRemoved = reg.Counter("dynamic_edges_removed_total", "Follow edges removed by updates.")
 	m.mRefreshes = reg.Counter("dynamic_landmark_refreshes_total", "Landmark re-explorations triggered by updates or queries.")
+	m.mCompactions = reg.Counter("dynamic_compactions_total", "Overlay stacks folded back into a fresh frozen graph.")
 	m.mBatches.Add(uint64(st.Batches))
 	m.mEdgesAdded.Add(uint64(st.EdgesAdded))
 	m.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
 	m.mRefreshes.Add(uint64(st.Refreshes))
+	m.mCompactions.Add(uint64(st.Compactions))
 	nLms := len(m.lms)
 	m.mu.Unlock()
 	reg.GaugeFunc("dynamic_stale_landmarks",
@@ -183,28 +215,19 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("dynamic_landmarks",
 		"Landmarks maintained by the manager.",
 		func() float64 { return float64(nLms) })
+	reg.GaugeFunc("dynamic_overlay_depth",
+		"Overlay layers stacked over the bottom frozen graph.",
+		func() float64 { return float64(m.Stats().OverlayDepth) })
+	reg.GaugeFunc("dynamic_overlay_delta_edges",
+		"Edge changes accumulated by the overlay stack since the last compaction.",
+		func() float64 { return float64(m.Stats().OverlayDelta) })
 }
 
-// builderFrom reconstructs a mutable builder from a frozen graph.
-func builderFrom(g *graph.Graph) *graph.Builder {
-	b := graph.NewBuilder(g.Vocabulary(), g.NumNodes())
-	for u := 0; u < g.NumNodes(); u++ {
-		b.SetNodeTopics(graph.NodeID(u), g.NodeTopics(graph.NodeID(u)))
-		dsts, lbls := g.Out(graph.NodeID(u))
-		for i, v := range dsts {
-			b.AddEdge(graph.NodeID(u), v, lbls[i])
-		}
-	}
-	return b
-}
-
+// rebuildEngine recomputes the authority table and engine from scratch
+// (initial preprocessing only; Apply derives instead).
 func (m *Manager) rebuildEngine() error {
-	m.auth = authority.Compute(m.g)
-	return m.remakeEngine()
-}
-
-func (m *Manager) remakeEngine() error {
-	eng, err := core.NewEngine(m.g, m.auth, m.cfg.Sim, m.cfg.Params)
+	m.auth = authority.Compute(m.view)
+	eng, err := core.NewEngine(m.view, m.auth, m.cfg.Sim, m.cfg.Params)
 	if err != nil {
 		return err
 	}
@@ -212,19 +235,30 @@ func (m *Manager) remakeEngine() error {
 	return nil
 }
 
-// Graph returns the current frozen graph.
-func (m *Manager) Graph() *graph.Graph {
+// Graph returns the current graph view — the epoch the serving path
+// queries against. Views are immutable; each Apply atomically installs a
+// new one, so a caller may keep reading a returned view while updates
+// continue.
+func (m *Manager) Graph() graph.View {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.g
+	return m.view
 }
 
 // Stats returns maintenance counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.statsLocked()
+}
+
+func (m *Manager) statsLocked() Stats {
 	s := m.stats
 	s.StaleNow = len(m.stale)
+	if ov, ok := m.view.(*graph.Overlay); ok {
+		s.OverlayDepth = ov.Depth()
+		s.OverlayDelta = ov.DeltaEdges()
+	}
 	return s
 }
 
@@ -234,54 +268,78 @@ type Update struct {
 	Add  bool
 }
 
-// Apply commits a batch of updates: rebuilds the graph and authority,
-// marks affected landmarks stale, and refreshes them according to the
-// strategy.
+// Apply commits a batch of updates as one overlay snapshot layered over
+// the current view — O(|batch| + Σ deg(touched)) instead of a full CSR
+// rebuild — then patches the authority table, derives the engine over
+// the new view, folds the overlay stack back into a frozen graph once it
+// crosses the compaction threshold, marks affected landmarks stale and
+// refreshes them per the strategy. Within one batch removal wins over an
+// add of the same (src, dst), matching the legacy rebuild semantics.
 func (m *Manager) Apply(batch []Update) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(batch) == 0 {
 		return nil
 	}
-	var removed []graph.Edge
+	var adds, removes []graph.Edge
 	for _, up := range batch {
 		if up.Add {
-			m.builder.AddEdge(up.Edge.Src, up.Edge.Dst, up.Edge.Label)
+			adds = append(adds, up.Edge)
 			m.stats.EdgesAdded++
 			if m.mEdgesAdded != nil {
 				m.mEdgesAdded.Inc()
 			}
 		} else {
-			removed = append(removed, up.Edge)
+			removes = append(removes, up.Edge)
 			m.stats.EdgesRemoved++
 			if m.mEdgesRemoved != nil {
 				m.mEdgesRemoved.Inc()
 			}
 		}
 	}
-	g, err := m.builder.Freeze()
+	ov, err := graph.NewOverlay(m.view, adds, removes)
 	if err != nil {
-		return fmt.Errorf("dynamic: rebuilding graph: %w", err)
+		return fmt.Errorf("dynamic: applying batch: %w", err)
 	}
-	if len(removed) > 0 {
-		g = g.WithoutEdges(removed)
-		m.builder = builderFrom(g)
-	}
-	m.g = g
+	m.view = ov
+	m.stats.Epoch++
 	// Authority maintenance: small batches only touch the targets of the
 	// changed edges (the paper's local-update observation); large batches
 	// trigger the periodic full recompute, which also lowers any stale
 	// per-topic maxima.
-	if len(batch) <= 8 && m.auth != nil {
-		for _, up := range batch {
-			m.auth.ApplyEdgeChange(g, up.Edge.Dst)
+	if m.auth != nil {
+		if len(batch) <= 8 {
+			dsts := make([]graph.NodeID, 0, len(batch))
+			for _, up := range batch {
+				dsts = append(dsts, up.Edge.Dst)
+			}
+			m.auth.ApplyDelta(m.view, dsts)
+		} else {
+			m.auth.Recompute(m.view)
 		}
-		if err := m.remakeEngine(); err != nil {
+	}
+	eng, err := m.eng.Derive(m.view, m.auth)
+	if err != nil {
+		return err
+	}
+	m.eng = eng
+
+	// Compaction: fold the overlay stack into a fresh CSR once it is deep
+	// or its accumulated delta is a large fraction of the bottom graph.
+	// This is the only full rebuild on the update path, and at most one
+	// happens per batch.
+	if ov.Depth() >= m.cfg.CompactDepth ||
+		float64(ov.DeltaEdges()) >= m.cfg.CompactFraction*float64(ov.Bottom().NumEdges()) {
+		m.view = ov.Compact()
+		eng, err := m.eng.Derive(m.view, m.auth)
+		if err != nil {
 			return err
 		}
-	} else {
-		if err := m.rebuildEngine(); err != nil {
-			return err
+		m.eng = eng
+		m.stats.Compactions++
+		m.stats.Epoch++
+		if m.mCompactions != nil {
+			m.mCompactions.Inc()
 		}
 	}
 	m.stats.Batches++
@@ -338,7 +396,7 @@ func (m *Manager) affectedLandmarks(batch []Update) []graph.NodeID {
 		// (its path scores include the edge) or its target (whose
 		// authority score changed with its follower counts).
 		for _, end := range []graph.NodeID{up.Edge.Src, up.Edge.Dst} {
-			graph.BFSIn(m.g, end, maxIter, func(u graph.NodeID, depth int) bool {
+			graph.BFSIn(m.view, end, maxIter, func(u graph.NodeID, depth int) bool {
 				if isLandmark[u] {
 					hit[u] = true
 				}
@@ -387,7 +445,7 @@ func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Score
 	if m.cfg.Strategy == Lazy && len(m.stale) > 0 {
 		// Refresh the stale landmarks in the query's vicinity.
 		var need []graph.NodeID
-		graph.BFSOut(m.g, u, m.cfg.QueryDepth, func(v graph.NodeID, depth int) bool {
+		graph.BFSOut(m.view, u, m.cfg.QueryDepth, func(v graph.NodeID, depth int) bool {
 			if m.stale[v] {
 				need = append(need, v)
 			}

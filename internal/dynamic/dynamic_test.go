@@ -192,3 +192,117 @@ func TestEmptyBatchIsNoop(t *testing.T) {
 		t.Error("empty batch must not count")
 	}
 }
+
+func TestApplyBelowThresholdNeverRebuilds(t *testing.T) {
+	m, ds := newManager(t, Lazy, 7)
+	base := ds.Graph
+	for i := 1; i <= 3; i++ {
+		up := Update{Edge: graph.Edge{Src: graph.NodeID(i), Dst: graph.NodeID(i + 40), Label: topics.NewSet(0)}, Add: true}
+		if err := m.Apply([]Update{up}); err != nil {
+			t.Fatal(err)
+		}
+		ov, ok := m.Graph().(*graph.Overlay)
+		if !ok {
+			t.Fatalf("batch %d: below the compaction threshold Apply must install an overlay, got %T", i, m.Graph())
+		}
+		// Pointer identity with the preprocessing graph proves no CSR was
+		// rebuilt anywhere on the update path.
+		if ov.Bottom() != base {
+			t.Fatalf("batch %d: overlay bottom is not the original frozen graph — a full rebuild happened", i)
+		}
+		st := m.Stats()
+		if st.Compactions != 0 {
+			t.Fatalf("batch %d: compactions = %d, want 0", i, st.Compactions)
+		}
+		if st.OverlayDepth != i {
+			t.Fatalf("batch %d: overlay depth = %d, want %d", i, st.OverlayDepth, i)
+		}
+		if st.Epoch != uint64(i) {
+			t.Fatalf("batch %d: epoch = %d, want %d", i, st.Epoch, i)
+		}
+	}
+}
+
+func TestCompactionAtMostOncePerBatch(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 8)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 4, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CompactDepth 1 makes every batch cross the threshold immediately —
+	// the regression this guards: one batch must trigger exactly one
+	// compaction (the old code path rebuilt the CSR twice per removal
+	// batch).
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params:       core.DefaultParams(),
+		Sim:          ds.Sim,
+		StoreTopN:    50,
+		QueryDepth:   2,
+		Strategy:     Lazy,
+		CompactDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := ds.Graph.Edges()
+	for i := 1; i <= 3; i++ {
+		batch := []Update{
+			{Edge: graph.Edge{Src: graph.NodeID(i), Dst: graph.NodeID(i + 50), Label: topics.NewSet(1)}, Add: true},
+			{Edge: existing[i], Add: false},
+		}
+		if err := m.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		st := m.Stats()
+		if st.Compactions != i {
+			t.Fatalf("batch %d: compactions = %d, want exactly %d (at most one per batch)", i, st.Compactions, i)
+		}
+		if _, ok := m.Graph().(*graph.Graph); !ok {
+			t.Fatalf("batch %d: after compaction the view must be a frozen graph, got %T", i, m.Graph())
+		}
+		if st.OverlayDepth != 0 || st.OverlayDelta != 0 {
+			t.Fatalf("batch %d: compaction must reset overlay stats, got %+v", i, st)
+		}
+		// Each batch installs the overlay epoch and the compacted epoch.
+		if st.Epoch != uint64(2*i) {
+			t.Fatalf("batch %d: epoch = %d, want %d", i, st.Epoch, 2*i)
+		}
+	}
+}
+
+func TestCompactionByDeltaFraction(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 9)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 4, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ~600 edges, a 1% fraction trips once the accumulated delta
+	// reaches 6 edges even though the depth bound is far away.
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params:          core.DefaultParams(),
+		Sim:             ds.Sim,
+		StoreTopN:       50,
+		QueryDepth:      2,
+		Strategy:        Lazy,
+		CompactDepth:    1000,
+		CompactFraction: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := int(0.01 * float64(ds.Graph.NumEdges()))
+	applied := 0
+	for i := 0; m.Stats().Compactions == 0 && i < 50; i++ {
+		up := Update{Edge: graph.Edge{Src: graph.NodeID(i % 60), Dst: graph.NodeID((i + 13) % 60), Label: topics.NewSet(2)}, Add: true}
+		if err := m.Apply([]Update{up}); err != nil {
+			t.Fatal(err)
+		}
+		applied++
+	}
+	if got := m.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions = %d after %d single-edge batches, want 1", got, applied)
+	}
+	if applied < threshold {
+		t.Fatalf("compacted after %d edges, before the %d-edge fraction threshold", applied, threshold)
+	}
+}

@@ -76,13 +76,13 @@ type TestEdge struct {
 }
 
 // EdgeFilter restricts which edges may enter the test set.
-type EdgeFilter func(g *graph.Graph, e graph.Edge) bool
+type EdgeFilter func(g graph.View, e graph.Edge) bool
 
 // TargetPopularityFilter keeps edges whose target's in-degree lies in
 // [min, max] — the Figure 8 breakdown uses the bottom-10% and top-10%
 // in-degree bands.
 func TargetPopularityFilter(min, max int) EdgeFilter {
-	return func(g *graph.Graph, e graph.Edge) bool {
+	return func(g graph.View, e graph.Edge) bool {
 		d := g.InDegree(e.Dst)
 		return d >= min && d <= max
 	}
@@ -91,14 +91,14 @@ func TargetPopularityFilter(min, max int) EdgeFilter {
 // TopicFilter keeps edges labeled with topic t; the test edge is then
 // evaluated on t (Figure 9).
 func TopicFilter(t topics.ID) EdgeFilter {
-	return func(_ *graph.Graph, e graph.Edge) bool { return e.Label.Has(t) }
+	return func(_ graph.View, e graph.Edge) bool { return e.Label.Has(t) }
 }
 
 // SelectTestEdges samples a test set satisfying the protocol constraints
 // and every filter. The evaluated topic of each edge is drawn uniformly
 // from the edge's label (or forced to the TopicFilter's topic when that
 // filter is given — pass wantTopic >= 0 for that).
-func SelectTestEdges(g *graph.Graph, p Protocol, r *rand.Rand, wantTopic topics.ID, filters ...EdgeFilter) ([]TestEdge, error) {
+func SelectTestEdges(g graph.View, p Protocol, r *rand.Rand, wantTopic topics.ID, filters ...EdgeFilter) ([]TestEdge, error) {
 	edges := g.Edges()
 	// Shuffle candidate order so the test set is a uniform sample.
 	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -143,7 +143,7 @@ scan:
 
 // SampleNegatives draws k accounts uniformly, excluding the source, the
 // target, and duplicates.
-func SampleNegatives(g *graph.Graph, r *rand.Rand, k int, src, dst graph.NodeID) []graph.NodeID {
+func SampleNegatives(g graph.View, r *rand.Rand, k int, src, dst graph.NodeID) []graph.NodeID {
 	out := make([]graph.NodeID, 0, k)
 	seen := make(map[graph.NodeID]bool, k+2)
 	seen[src], seen[dst] = true, true

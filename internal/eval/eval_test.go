@@ -152,7 +152,7 @@ func TestRunLinkPredictionWithOracles(t *testing.T) {
 	// (targets are constrained to in-degree >= 3).
 	popular := MethodFactory{
 		Name: "in-degree",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return constRec{name: "in-degree", score: func(c graph.NodeID) float64 {
 				return float64(ds.Graph.InDegree(c))
 			}}, nil
@@ -160,7 +160,7 @@ func TestRunLinkPredictionWithOracles(t *testing.T) {
 	}
 	antirank := MethodFactory{
 		Name: "anti",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return constRec{name: "anti", score: func(c graph.NodeID) float64 {
 				return -float64(ds.Graph.InDegree(c))
 			}}, nil
@@ -219,7 +219,7 @@ func TestMRRAndNDCG(t *testing.T) {
 	// anti-popularity anti-correlates. Bounds and ordering are asserted.
 	perfect := MethodFactory{
 		Name: "perfect",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return constRec{name: "perfect", score: func(c graph.NodeID) float64 {
 				return float64(ds.Graph.InDegree(c))
 			}}, nil
@@ -227,7 +227,7 @@ func TestMRRAndNDCG(t *testing.T) {
 	}
 	worst := MethodFactory{
 		Name: "worst",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return constRec{name: "worst", score: func(c graph.NodeID) float64 {
 				return -float64(ds.Graph.InDegree(c))
 			}}, nil

@@ -25,17 +25,17 @@ import (
 func testMethods(ds *gen.Dataset) []MethodFactory {
 	params := core.DefaultParams()
 	return []MethodFactory{
-		{Name: "Tr", Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		{Name: "Tr", Build: func(g graph.View) (ranking.Recommender, error) {
 			eng, err := core.NewEngine(g, authority.Compute(g), ds.Sim, params)
 			if err != nil {
 				return nil, err
 			}
 			return core.NewRecommender(eng, core.WithDepth(4)), nil
 		}},
-		{Name: "Katz", Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		{Name: "Katz", Build: func(g graph.View) (ranking.Recommender, error) {
 			return katz.New(g, params.Beta, 4)
 		}},
-		{Name: "TwitterRank", Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		{Name: "TwitterRank", Build: func(g graph.View) (ranking.Recommender, error) {
 			return twitterrank.New(twitterrank.InputFromProfiles(g), twitterrank.DefaultParams())
 		}},
 	}

@@ -24,7 +24,7 @@ import (
 // explorations allocate or pool their per-call state).
 type MethodFactory struct {
 	Name  string
-	Build func(g *graph.Graph) (ranking.Recommender, error)
+	Build func(g graph.View) (ranking.Recommender, error)
 }
 
 // Curve is the recall/precision of one method at each cutoff N.
@@ -156,7 +156,7 @@ func (m *evalMetrics) setBusy(d float64) {
 // With Protocol.Parallelism != 1 the per-trial method builds and the
 // (test edge × method) rankings are spread over a worker pool; see
 // RunLinkPredictionCtx for the determinism guarantees.
-func RunLinkPrediction(g *graph.Graph, p Protocol, methods []MethodFactory, ns []int, wantTopic topics.ID, filters ...EdgeFilter) ([]Curve, error) {
+func RunLinkPrediction(g graph.View, p Protocol, methods []MethodFactory, ns []int, wantTopic topics.ID, filters ...EdgeFilter) ([]Curve, error) {
 	return RunLinkPredictionCtx(context.Background(), g, p, methods, ns, wantTopic, filters...)
 }
 
@@ -169,7 +169,7 @@ func RunLinkPrediction(g *graph.Graph, p Protocol, methods []MethodFactory, ns [
 // dedicated slot, and the slots are reduced in (edge, method) protocol
 // order — so every floating-point sum sees the same operands in the same
 // sequence at any Parallelism setting.
-func RunLinkPredictionCtx(ctx context.Context, g *graph.Graph, p Protocol, methods []MethodFactory, ns []int, wantTopic topics.ID, filters ...EdgeFilter) ([]Curve, error) {
+func RunLinkPredictionCtx(ctx context.Context, g graph.View, p Protocol, methods []MethodFactory, ns []int, wantTopic topics.ID, filters ...EdgeFilter) ([]Curve, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -203,7 +203,10 @@ func RunLinkPredictionCtx(ctx context.Context, g *graph.Graph, p Protocol, metho
 		for i, te := range testSet {
 			removed[i] = te.Edge
 		}
-		reduced := g.WithoutEdges(removed)
+		// The reduced graph is an O(|testSet|) overlay over g, not a full
+		// CSR rebuild; overlays are observationally identical to the
+		// rebuilt graph, so curves are unchanged (and bit-identical).
+		reduced := graph.Remove(g, removed)
 
 		recs, err := buildMethods(ctx, reduced, methods, workers, pool)
 		if err != nil {
@@ -226,7 +229,7 @@ func RunLinkPredictionCtx(ctx context.Context, g *graph.Graph, p Protocol, metho
 // graph. Builds are independent (each sees only its own engine state), so
 // with workers > 1 they run concurrently; pool, when non-nil, is attached
 // to every recommender that can draw exploration buffers from it.
-func buildMethods(ctx context.Context, reduced *graph.Graph, methods []MethodFactory, workers int, pool *core.ScratchPool) ([]ranking.Recommender, error) {
+func buildMethods(ctx context.Context, reduced graph.View, methods []MethodFactory, workers int, pool *core.ScratchPool) ([]ranking.Recommender, error) {
 	recs := make([]ranking.Recommender, len(methods))
 	errs := make([]error, len(methods))
 	build := func(i int) {
@@ -273,7 +276,7 @@ func buildMethods(ctx context.Context, reduced *graph.Graph, methods []MethodFac
 
 // candidateList assembles the ranked candidate set of one test edge:
 // the sampled negatives followed by the hidden target.
-func candidateList(reduced *graph.Graph, r *rand.Rand, p Protocol, te TestEdge) []graph.NodeID {
+func candidateList(reduced graph.View, r *rand.Rand, p Protocol, te TestEdge) []graph.NodeID {
 	negs := SampleNegatives(reduced, r, p.Negatives, te.Edge.Src, te.Edge.Dst)
 	return append(append(make([]graph.NodeID, 0, len(negs)+1), negs...), te.Edge.Dst)
 }
@@ -289,7 +292,7 @@ func rankOne(rec ranking.Recommender, te TestEdge, cands []graph.NodeID) int {
 // rankTrialSerial is the reference path (Parallelism 1): rankings run
 // edge-by-edge, method-by-method on the calling goroutine, exactly the
 // pre-parallelism implementation.
-func rankTrialSerial(ctx context.Context, reduced *graph.Graph, p Protocol, r *rand.Rand, testSet []TestEdge, recs []ranking.Recommender, acc *accumulator, em *evalMetrics) error {
+func rankTrialSerial(ctx context.Context, reduced graph.View, p Protocol, r *rand.Rand, testSet []TestEdge, recs []ranking.Recommender, acc *accumulator, em *evalMetrics) error {
 	for _, te := range testSet {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -309,7 +312,7 @@ func rankTrialSerial(ctx context.Context, reduced *graph.Graph, p Protocol, r *r
 // first (matching the serial path's RNG consumption draw for draw), each
 // ranking writes its result into its own slot, and the slots are reduced
 // in serial protocol order afterwards.
-func rankTrialParallel(ctx context.Context, reduced *graph.Graph, p Protocol, r *rand.Rand, testSet []TestEdge, recs []ranking.Recommender, acc *accumulator, workers int, em *evalMetrics) error {
+func rankTrialParallel(ctx context.Context, reduced graph.View, p Protocol, r *rand.Rand, testSet []TestEdge, recs []ranking.Recommender, acc *accumulator, workers int, em *evalMetrics) error {
 	cands := make([][]graph.NodeID, len(testSet))
 	for i, te := range testSet {
 		cands[i] = candidateList(reduced, r, p, te)

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// BenchGraphSide is one measured way of applying an edge delta.
+type BenchGraphSide struct {
+	// Name is "rebuild" (legacy Builder replay + Freeze + WithoutEdges)
+	// or "overlay" (O(|delta|) snapshot over the immutable base).
+	Name string
+	// WallNs is the time of one delta application.
+	WallNs int64
+	// AllocsPerApply and BytesPerApply are testing.Benchmark's
+	// per-iteration memory numbers.
+	AllocsPerApply int64
+	BytesPerApply  int64
+}
+
+// BenchGraphResult times applying one update batch to the Twitter graph
+// via the legacy full CSR rebuild against the overlay snapshot the
+// dynamic and eval layers now use. Written to BENCH_graph.json by
+// `trbench -exp bench-graph`.
+type BenchGraphResult struct {
+	Experiment string
+	// Nodes and Edges describe the base graph.
+	Nodes, Edges int
+	// DeltaEdges is the batch size (half additions, half removals) —
+	// about 1% of the base edges, the regime dynamic batches live in.
+	DeltaEdges int
+	Rebuild    BenchGraphSide
+	Overlay    BenchGraphSide
+	// Speedup is Rebuild.WallNs / Overlay.WallNs. The snapshot/delta
+	// design targets >= 10x at this delta size.
+	Speedup float64
+	// ViewsMatch confirms the overlay and the rebuilt graph agree on
+	// every adjacency row and label (the observational-equivalence
+	// contract backing the speedup).
+	ViewsMatch bool
+}
+
+// benchDelta draws a deterministic batch: remove every k-th existing edge
+// and add the same number of fresh edges.
+func benchDelta(g *graph.Graph, size int, seed uint64) (adds, removes []graph.Edge) {
+	r := rand.New(rand.NewPCG(seed, 99))
+	existing := g.Edges()
+	half := size / 2
+	step := len(existing) / (half + 1)
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(existing) && len(removes) < half; i += step {
+		removes = append(removes, existing[i])
+	}
+	T := g.Vocabulary().Len()
+	for len(adds) < size-len(removes) {
+		u := graph.NodeID(r.IntN(g.NumNodes()))
+		v := graph.NodeID(r.IntN(g.NumNodes()))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		adds = append(adds, graph.Edge{Src: u, Dst: v, Label: topics.NewSet(topics.ID(r.IntN(T)))})
+	}
+	return adds, removes
+}
+
+// rebuildWith is the legacy path: replay the whole graph plus the
+// additions through a Builder, freeze, then filter the removals.
+func rebuildWith(g *graph.Graph, adds, removes []graph.Edge) (*graph.Graph, error) {
+	b := graph.NewBuilder(g.Vocabulary(), g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		id := graph.NodeID(u)
+		b.SetNodeTopics(id, g.NodeTopics(id))
+		dsts, lbls := g.Out(id)
+		for i, v := range dsts {
+			b.AddEdge(id, v, lbls[i])
+		}
+	}
+	for _, e := range adds {
+		b.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	ng, err := b.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	if len(removes) > 0 {
+		ng = ng.WithoutEdges(removes)
+	}
+	return ng, nil
+}
+
+// viewsEqual compares every adjacency row and label of two views.
+func viewsEqual(a, b graph.View) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		id := graph.NodeID(u)
+		ad, al := a.Out(id)
+		bd, bl := b.Out(id)
+		if len(ad) != len(bd) {
+			return false
+		}
+		for i := range ad {
+			if ad[i] != bd[i] || al[i] != bl[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BenchGraph measures the snapshot/delta design's headline claim: an
+// overlay applies an update batch orders of magnitude faster than the
+// full CSR rebuild it replaced, while remaining observationally
+// identical.
+func (r *Runner) BenchGraph() (*BenchGraphResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	g := tw.Graph
+	deltaSize := g.NumEdges() / 100
+	if deltaSize < 10 {
+		deltaSize = 10
+	}
+	adds, removes := benchDelta(g, deltaSize, r.cfg.Seed)
+
+	rebuilt, err := rebuildWith(g, adds, removes)
+	if err != nil {
+		return nil, err
+	}
+	ov, err := graph.NewOverlay(g, adds, removes)
+	if err != nil {
+		return nil, err
+	}
+	res := &BenchGraphResult{
+		Experiment: "bench-graph",
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		DeltaEdges: len(adds) + len(removes),
+		ViewsMatch: viewsEqual(ov, rebuilt),
+	}
+
+	var benchErr error
+	side := func(name string, apply func() error) (BenchGraphSide, error) {
+		bres := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := apply(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return BenchGraphSide{}, benchErr
+		}
+		return BenchGraphSide{
+			Name:           name,
+			WallNs:         bres.NsPerOp(),
+			AllocsPerApply: int64(bres.AllocsPerOp()),
+			BytesPerApply:  bres.AllocedBytesPerOp(),
+		}, nil
+	}
+	if res.Rebuild, err = side("rebuild", func() error {
+		_, err := rebuildWith(g, adds, removes)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if res.Overlay, err = side("overlay", func() error {
+		_, err := graph.NewOverlay(g, adds, removes)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if res.Overlay.WallNs > 0 {
+		res.Speedup = float64(res.Rebuild.WallNs) / float64(res.Overlay.WallNs)
+	}
+	return res, nil
+}
+
+// String renders the two sides and the headline speedup.
+func (b *BenchGraphResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph delta apply: %d nodes, %d edges, %d-edge batch (~%.1f%%)\n",
+		b.Nodes, b.Edges, b.DeltaEdges, 100*float64(b.DeltaEdges)/float64(b.Edges))
+	row := func(s BenchGraphSide) {
+		fmt.Fprintf(&sb, "%-22s wall %-12s %8d allocs/apply %10d B/apply\n",
+			s.Name, time.Duration(s.WallNs).Round(time.Microsecond), s.AllocsPerApply, s.BytesPerApply)
+	}
+	row(b.Rebuild)
+	row(b.Overlay)
+	fmt.Fprintf(&sb, "speedup %.1fx, views match: %v\n", b.Speedup, b.ViewsMatch)
+	return sb.String()
+}

@@ -140,7 +140,7 @@ func (r *Runner) trFactory(name string, variant core.Variant, sim *topics.SimMat
 	params.Variant = variant
 	return eval.MethodFactory{
 		Name: name,
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			var auth *authority.Table
 			if variant == core.TrFull || variant == core.TrNoSim {
 				auth = authority.Compute(g)
@@ -168,7 +168,7 @@ func (r *Runner) katzFactory() eval.MethodFactory {
 	depth := r.cfg.QueryDepth
 	return eval.MethodFactory{
 		Name: "Katz",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return katz.New(g, beta, depth)
 		},
 	}
@@ -178,7 +178,7 @@ func (r *Runner) katzFactory() eval.MethodFactory {
 func (r *Runner) twitterRankFactory() eval.MethodFactory {
 	return eval.MethodFactory{
 		Name: "TwitterRank",
-		Build: func(g *graph.Graph) (ranking.Recommender, error) {
+		Build: func(g graph.View) (ranking.Recommender, error) {
 			return twitterrank.New(twitterrank.InputFromProfiles(g), twitterrank.DefaultParams())
 		},
 	}

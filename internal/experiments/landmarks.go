@@ -203,7 +203,7 @@ func (t *Table6Result) String() string {
 
 // selectConfig derives degree bands from the dataset so the Btw-*
 // strategies have sensible pools at any scale.
-func (r *Runner) selectConfig(g *graph.Graph) landmark.SelectConfig {
+func (r *Runner) selectConfig(g graph.View) landmark.SelectConfig {
 	cfg := landmark.DefaultSelectConfig()
 	cfg.Seed = r.cfg.Seed
 	low, high := graph.InDegreePercentileCutoffs(g, 0.25)

@@ -176,7 +176,7 @@ func (s *StudyResult) ResultFor(method string) (userstudy.MethodResult, bool) {
 
 // sampleActiveUsers draws k distinct users with out-degree ≥ minOut (the
 // study asks for users with enough activity to personalize for).
-func sampleActiveUsers(g *graph.Graph, r *rand.Rand, k, minOut int) []graph.NodeID {
+func sampleActiveUsers(g graph.View, r *rand.Rand, k, minOut int) []graph.NodeID {
 	var pool []graph.NodeID
 	for u := 0; u < g.NumNodes(); u++ {
 		if g.OutDegree(graph.NodeID(u)) >= minOut {

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/topics"
+)
+
+// rebuildReference applies (adds, removes) to g the pre-overlay way: every
+// add goes through a Builder, Freeze merges duplicates, then WithoutEdges
+// drops the removals — the semantics overlays must reproduce exactly.
+func rebuildReference(t testing.TB, g View, adds, removes []Edge) *Graph {
+	t.Helper()
+	b := NewBuilder(g.Vocabulary(), g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		b.SetNodeTopics(NodeID(u), g.NodeTopics(NodeID(u)))
+		dst, lbl := g.Out(NodeID(u))
+		for i, v := range dst {
+			b.AddEdge(NodeID(u), v, lbl[i])
+		}
+	}
+	for _, e := range adds {
+		b.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	ng, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("reference rebuild: %v", err)
+	}
+	return ng.WithoutEdges(removes)
+}
+
+// requireViewsEqual compares two views on every accessor of the View
+// contract, node by node.
+func requireViewsEqual(t testing.TB, want, got View) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() {
+		t.Fatalf("NumNodes: want %d, got %d", want.NumNodes(), got.NumNodes())
+	}
+	if want.NumEdges() != got.NumEdges() {
+		t.Fatalf("NumEdges: want %d, got %d", want.NumEdges(), got.NumEdges())
+	}
+	wantCounts := make([]uint32, want.Vocabulary().Len())
+	gotCounts := make([]uint32, got.Vocabulary().Len())
+	for u := 0; u < want.NumNodes(); u++ {
+		id := NodeID(u)
+		if want.NodeTopics(id) != got.NodeTopics(id) {
+			t.Fatalf("NodeTopics(%d) differ", u)
+		}
+		if want.OutDegree(id) != got.OutDegree(id) || want.InDegree(id) != got.InDegree(id) {
+			t.Fatalf("degrees of %d: want out=%d in=%d, got out=%d in=%d",
+				u, want.OutDegree(id), want.InDegree(id), got.OutDegree(id), got.InDegree(id))
+		}
+		wd, wl := want.Out(id)
+		gd, gl := got.Out(id)
+		if len(wd) != len(gd) {
+			t.Fatalf("Out(%d): want %d edges, got %d", u, len(wd), len(gd))
+		}
+		for i := range wd {
+			if wd[i] != gd[i] || wl[i] != gl[i] {
+				t.Fatalf("Out(%d)[%d]: want (%d,%v), got (%d,%v)", u, i, wd[i], wl[i], gd[i], gl[i])
+			}
+			if lbl, ok := got.EdgeLabel(id, wd[i]); !ok || lbl != wl[i] {
+				t.Fatalf("EdgeLabel(%d,%d): want (%v,true), got (%v,%v)", u, wd[i], wl[i], lbl, ok)
+			}
+		}
+		ws, wl2 := want.In(id)
+		gs, gl2 := got.In(id)
+		if len(ws) != len(gs) {
+			t.Fatalf("In(%d): want %d edges, got %d", u, len(ws), len(gs))
+		}
+		for i := range ws {
+			if ws[i] != gs[i] || wl2[i] != gl2[i] {
+				t.Fatalf("In(%d)[%d]: want (%d,%v), got (%d,%v)", u, i, ws[i], wl2[i], gs[i], gl2[i])
+			}
+		}
+		want.FollowerTopicCounts(id, wantCounts)
+		got.FollowerTopicCounts(id, gotCounts)
+		for i := range wantCounts {
+			if wantCounts[i] != gotCounts[i] {
+				t.Fatalf("FollowerTopicCounts(%d)[%d]: want %d, got %d", u, i, wantCounts[i], gotCounts[i])
+			}
+		}
+	}
+}
+
+// randomBatch derives a random delta over the view: a mix of fresh adds,
+// label-extending re-adds of existing edges, and removals.
+func randomBatch(r *rand.Rand, v View, size int) (adds, removes []Edge) {
+	n := v.NumNodes()
+	existing := v.Edges()
+	for i := 0; i < size; i++ {
+		switch r.IntN(3) {
+		case 0: // fresh (or duplicate) add
+			adds = append(adds, Edge{
+				Src:   NodeID(r.IntN(n)),
+				Dst:   NodeID(r.IntN(n)),
+				Label: topics.Set(1 << r.IntN(16)),
+			})
+		case 1: // re-add an existing edge with another label
+			if len(existing) > 0 {
+				e := existing[r.IntN(len(existing))]
+				e.Label = topics.Set(1 << r.IntN(16))
+				adds = append(adds, e)
+			}
+		default: // removal (sometimes of an unknown edge)
+			if len(existing) > 0 && r.IntN(4) > 0 {
+				removes = append(removes, existing[r.IntN(len(existing))])
+			} else {
+				removes = append(removes, Edge{Src: NodeID(r.IntN(n)), Dst: NodeID(r.IntN(n))})
+			}
+		}
+	}
+	// Self-loop adds must be ignored, not crash.
+	adds = append(adds, Edge{Src: 0, Dst: 0, Label: 1})
+	return adds, removes
+}
+
+// TestOverlayMatchesRebuild stacks several random deltas and checks, after
+// each layer, that the overlay is observationally identical to the full
+// Freeze-rebuilt graph.
+func TestOverlayMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 7))
+	base := benchGraphT(t, 200, 1500)
+	var view View = base
+	var ref *Graph = base
+	for layer := 0; layer < 5; layer++ {
+		adds, removes := randomBatch(r, view, 40)
+		ov, err := NewOverlay(view, adds, removes)
+		if err != nil {
+			t.Fatalf("layer %d: NewOverlay: %v", layer, err)
+		}
+		ref = rebuildReference(t, ref, adds, removes)
+		requireViewsEqual(t, ref, ov)
+		if ov.Depth() != layer+1 {
+			t.Fatalf("layer %d: Depth = %d", layer, ov.Depth())
+		}
+		if ov.Bottom() != base {
+			t.Fatalf("layer %d: Bottom is not the seed CSR", layer)
+		}
+		view = ov
+	}
+	// Compacting the full stack must reproduce the rebuilt CSR exactly,
+	// and re-freezing a frozen graph must be the identity.
+	compacted := view.(*Overlay).Compact()
+	requireViewsEqual(t, ref, compacted)
+	if Freeze(compacted) != compacted {
+		t.Fatal("Freeze of a *Graph must return it unchanged")
+	}
+}
+
+// TestRemoveMatchesWithoutEdges checks the overlay fast path eval uses
+// against the legacy full rebuild.
+func TestRemoveMatchesWithoutEdges(t *testing.T) {
+	g := benchGraphT(t, 100, 800)
+	removed := g.Edges()[:40]
+	requireViewsEqual(t, g.WithoutEdges(removed), Remove(g, removed))
+}
+
+// TestOverlayRejectsUnknownNodes covers the one construction error.
+func TestOverlayRejectsUnknownNodes(t *testing.T) {
+	g := benchGraphT(t, 10, 20)
+	if _, err := NewOverlay(g, []Edge{{Src: 0, Dst: 99, Label: 1}}, nil); err == nil {
+		t.Fatal("add beyond the node set must fail")
+	}
+	// Removals of out-of-range edges are no-ops, like WithoutEdges.
+	ov, err := NewOverlay(g, nil, []Edge{{Src: 0, Dst: 99}})
+	if err != nil {
+		t.Fatalf("out-of-range removal: %v", err)
+	}
+	if ov.NumEdges() != g.NumEdges() {
+		t.Fatalf("no-op removal changed NumEdges: %d != %d", ov.NumEdges(), g.NumEdges())
+	}
+}
+
+// TestOverlayRemoveWins: adding and removing the same edge in one delta
+// must drop it, matching the Builder+WithoutEdges batch semantics.
+func TestOverlayRemoveWins(t *testing.T) {
+	g := benchGraphT(t, 10, 20)
+	e := Edge{Src: 1, Dst: 2, Label: 4}
+	ov, err := NewOverlay(g, []Edge{e}, []Edge{e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.HasEdge(1, 2) {
+		t.Fatal("removal must win over an add of the same edge")
+	}
+}
+
+func benchGraphT(t testing.TB, n, m int) *Graph {
+	t.Helper()
+	bld := NewBuilder(topics.MustVocabulary(topics.WebTopicNames), n)
+	r := rand.New(rand.NewPCG(uint64(n), uint64(m)))
+	for _, e := range randomEdges(n, m, 1) {
+		bld.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	for u := 0; u < n; u++ {
+		bld.SetNodeTopics(NodeID(u), topics.Set(r.Uint64()&0xffff))
+	}
+	g, err := bld.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

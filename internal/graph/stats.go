@@ -25,7 +25,7 @@ type Stats struct {
 }
 
 // ComputeStats scans the graph once and fills a Stats.
-func ComputeStats(g *Graph) Stats {
+func ComputeStats(g View) Stats {
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
 	var sumOut, sumIn int
 	for u := 0; u < g.NumNodes(); u++ {
@@ -172,7 +172,7 @@ func EdgeTopicDistribution(g *Graph) []int {
 // Figure 8 popularity analysis: top-10% most followed vs bottom-10% least
 // followed). Only nodes with at least one follower participate, matching
 // the paper's "less followed accounts".
-func InDegreePercentileCutoffs(g *Graph, p float64) (low, high int) {
+func InDegreePercentileCutoffs(g View, p float64) (low, high int) {
 	degs := make([]int, 0, g.NumNodes())
 	for u := 0; u < g.NumNodes(); u++ {
 		if d := g.InDegree(NodeID(u)); d > 0 {

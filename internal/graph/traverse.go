@@ -8,17 +8,17 @@ type Visit func(u NodeID, depth int) bool
 
 // BFSOut runs a breadth-first traversal from src following follow edges
 // (out-adjacency) up to maxDepth hops. src itself is visited at depth 0.
-func BFSOut(g *Graph, src NodeID, maxDepth int, visit Visit) {
+func BFSOut(g View, src NodeID, maxDepth int, visit Visit) {
 	bfs(g, src, maxDepth, visit, g.Out)
 }
 
 // BFSIn runs a breadth-first traversal from src against follow edges
 // (in-adjacency: toward followers) up to maxDepth hops.
-func BFSIn(g *Graph, src NodeID, maxDepth int, visit Visit) {
+func BFSIn(g View, src NodeID, maxDepth int, visit Visit) {
 	bfs(g, src, maxDepth, visit, g.In)
 }
 
-func bfs(g *Graph, src NodeID, maxDepth int, visit Visit, adj func(NodeID) ([]NodeID, []topics.Set)) {
+func bfs(g View, src NodeID, maxDepth int, visit Visit, adj func(NodeID) ([]NodeID, []topics.Set)) {
 	seen := make(map[NodeID]bool, 64)
 	seen[src] = true
 	if !visit(src, 0) {
@@ -46,7 +46,7 @@ func bfs(g *Graph, src NodeID, maxDepth int, visit Visit, adj func(NodeID) ([]No
 
 // Vicinity returns Υk(u): the set of nodes reachable from u in at most k
 // hops along follow edges, excluding u itself.
-func Vicinity(g *Graph, u NodeID, k int) []NodeID {
+func Vicinity(g View, u NodeID, k int) []NodeID {
 	var out []NodeID
 	BFSOut(g, u, k, func(v NodeID, depth int) bool {
 		if depth > 0 {
@@ -59,7 +59,7 @@ func Vicinity(g *Graph, u NodeID, k int) []NodeID {
 
 // ReachableCount returns how many distinct nodes are reachable from u
 // within k hops (excluding u).
-func ReachableCount(g *Graph, u NodeID, k int) int {
+func ReachableCount(g View, u NodeID, k int) int {
 	n := 0
 	BFSOut(g, u, k, func(v NodeID, depth int) bool {
 		if depth > 0 {
@@ -73,7 +73,7 @@ func ReachableCount(g *Graph, u NodeID, k int) int {
 // CountPaths enumerates, by exhaustive DFS, the number of distinct paths
 // from u to v of each length 1..maxLen. Intended for tests and tiny graphs
 // only: cost grows with out-degree^maxLen.
-func CountPaths(g *Graph, u, v NodeID, maxLen int) []int {
+func CountPaths(g View, u, v NodeID, maxLen int) []int {
 	counts := make([]int, maxLen+1)
 	var walk func(cur NodeID, depth int)
 	walk = func(cur NodeID, depth int) {

@@ -1,0 +1,111 @@
+package graph
+
+import "repro/internal/topics"
+
+// View is a read-only labeled directed graph: the interface every scoring,
+// evaluation and maintenance layer consumes. Two implementations exist —
+// the frozen CSR *Graph and the *Overlay, which layers an O(|changes|)
+// edge delta over an immutable base without rebuilding it.
+//
+// The contract is observational equivalence: any two Views exposing the
+// same logical edge set must return identical adjacency sequences (Out and
+// In sorted ascending, duplicate labels unioned), so downstream
+// floating-point accumulations — and therefore scores and rankings — are
+// bit-identical regardless of which implementation served them. Views are
+// immutable once constructed and safe for concurrent readers.
+type View interface {
+	// NumNodes returns the number of nodes (ids are dense, 0..n-1).
+	NumNodes() int
+	// NumEdges returns the number of distinct (src, dst) edges.
+	NumEdges() int
+	// Vocabulary returns the topic vocabulary the labels refer to.
+	Vocabulary() *topics.Vocabulary
+	// NodeTopics returns labelN(u): the topics u publishes on.
+	NodeTopics(u NodeID) topics.Set
+	// OutDegree returns the number of accounts u follows.
+	OutDegree(u NodeID) int
+	// InDegree returns the number of followers of v.
+	InDegree(v NodeID) int
+	// Out returns the followees of u and each follow edge's label; dsts
+	// are sorted ascending. The slices alias internal storage and must
+	// not be modified.
+	Out(u NodeID) ([]NodeID, []topics.Set)
+	// In returns the followers of v and each follow edge's label; srcs
+	// are sorted ascending. The slices alias internal storage and must
+	// not be modified.
+	In(v NodeID) ([]NodeID, []topics.Set)
+	// EdgeLabel returns the label of edge (u, v) and whether it exists.
+	EdgeLabel(u, v NodeID) (topics.Set, bool)
+	// HasEdge reports whether u follows v.
+	HasEdge(u, v NodeID) bool
+	// Edges returns all edges in (src, dst) order, freshly allocated.
+	Edges() []Edge
+	// FollowerTopicCounts fills counts (len = vocabulary size) with
+	// |Γu(t)| for every topic t.
+	FollowerTopicCounts(u NodeID, counts []uint32)
+}
+
+// Both implementations must satisfy the interface.
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)
+
+// edgesOf collects every edge of a view in (src, dst) order.
+func edgesOf(v View) []Edge {
+	out := make([]Edge, 0, v.NumEdges())
+	for u := 0; u < v.NumNodes(); u++ {
+		dst, lbl := v.Out(NodeID(u))
+		for i, d := range dst {
+			out = append(out, Edge{Src: NodeID(u), Dst: d, Label: lbl[i]})
+		}
+	}
+	return out
+}
+
+// followerTopicCounts implements FollowerTopicCounts over any adjacency.
+func followerTopicCounts(v View, u NodeID, counts []uint32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	_, lbl := v.In(u)
+	for _, s := range lbl {
+		s.ForEach(func(t topics.ID) { counts[t]++ })
+	}
+}
+
+// Freeze folds any view into a fresh frozen CSR *Graph. A *Graph input is
+// returned as-is; an overlay stack is compacted in O(n+m) — the rows of a
+// View are already sorted and deduplicated, so no re-sort is needed and
+// the result is byte-identical to rebuilding through a Builder.
+func Freeze(v View) *Graph {
+	if g, ok := v.(*Graph); ok {
+		return g
+	}
+	n := v.NumNodes()
+	m := v.NumEdges()
+	g := &Graph{
+		vocab:      v.Vocabulary(),
+		nodeTopics: make([]topics.Set, n),
+		outStart:   make([]uint32, n+1),
+		outDst:     make([]NodeID, 0, m),
+		outLbl:     make([]topics.Set, 0, m),
+		inStart:    make([]uint32, n+1),
+		inSrc:      make([]NodeID, 0, m),
+		inLbl:      make([]topics.Set, 0, m),
+	}
+	for u := 0; u < n; u++ {
+		g.nodeTopics[u] = v.NodeTopics(NodeID(u))
+		dst, lbl := v.Out(NodeID(u))
+		g.outDst = append(g.outDst, dst...)
+		g.outLbl = append(g.outLbl, lbl...)
+		g.outStart[u+1] = uint32(len(g.outDst))
+	}
+	for u := 0; u < n; u++ {
+		src, lbl := v.In(NodeID(u))
+		g.inSrc = append(g.inSrc, src...)
+		g.inLbl = append(g.inLbl, lbl...)
+		g.inStart[u+1] = uint32(len(g.inSrc))
+	}
+	return g
+}

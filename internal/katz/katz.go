@@ -27,7 +27,7 @@ type Recommender struct {
 
 // New builds a Katz recommender over g with path decay beta. depth caps
 // exploration depth; depth <= 0 runs to convergence.
-func New(g *graph.Graph, beta float64, depth int) (*Recommender, error) {
+func New(g graph.View, beta float64, depth int) (*Recommender, error) {
 	p := core.DefaultParams()
 	p.Beta = beta
 	p.Variant = core.TopoOnly

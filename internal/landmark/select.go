@@ -94,7 +94,7 @@ func DefaultSelectConfig() SelectConfig {
 
 // Select returns k distinct landmarks chosen by the given strategy. Fewer
 // than k may be returned when the eligible pool is smaller than k.
-func Select(g *graph.Graph, s Strategy, k int, cfg SelectConfig) ([]graph.NodeID, error) {
+func Select(g graph.View, s Strategy, k int, cfg SelectConfig) ([]graph.NodeID, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("landmark: k must be positive, got %d", k)
 	}
@@ -215,7 +215,7 @@ func sampleWeighted(r *rand.Rand, n, k int, weight func(graph.NodeID) float64) [
 }
 
 // topKBy returns the k nodes maximizing score (ties by ascending id).
-func topKBy(g *graph.Graph, k int, score func(graph.NodeID) float64) []graph.NodeID {
+func topKBy(g graph.View, k int, score func(graph.NodeID) float64) []graph.NodeID {
 	top := ranking.NewTopN(k)
 	for u := 0; u < g.NumNodes(); u++ {
 		if s := score(graph.NodeID(u)); s > 0 {
@@ -232,7 +232,7 @@ func topKBy(g *graph.Graph, k int, score func(graph.NodeID) float64) []graph.Nod
 
 // inCoverage counts, per node, from how many sampled seeds it is reachable
 // within SeedDepth hops (the Central criterion).
-func inCoverage(g *graph.Graph, r *rand.Rand, cfg SelectConfig) []int {
+func inCoverage(g graph.View, r *rand.Rand, cfg SelectConfig) []int {
 	cov := make([]int, g.NumNodes())
 	for _, s := range sampleUniform(r, g.NumNodes(), cfg.Seeds, nil) {
 		graph.BFSOut(g, s, cfg.SeedDepth, func(u graph.NodeID, depth int) bool {
@@ -248,7 +248,7 @@ func inCoverage(g *graph.Graph, r *rand.Rand, cfg SelectConfig) []int {
 // outCoverage counts, per node, how many sampled seeds it reaches within
 // SeedDepth hops (the Out-Cen criterion). Computed by reverse BFS from
 // each seed.
-func outCoverage(g *graph.Graph, r *rand.Rand, cfg SelectConfig) []int {
+func outCoverage(g graph.View, r *rand.Rand, cfg SelectConfig) []int {
 	cov := make([]int, g.NumNodes())
 	for _, s := range sampleUniform(r, g.NumNodes(), cfg.Seeds, nil) {
 		graph.BFSIn(g, s, cfg.SeedDepth, func(u graph.NodeID, depth int) bool {

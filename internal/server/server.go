@@ -168,6 +168,11 @@ type StatsResponse struct {
 	Batches      int     `json:"update_batches"`
 	Refreshes    int     `json:"landmark_refreshes"`
 	Stale        int     `json:"stale_landmarks"`
+	// Epoch identifies the graph snapshot served right now; it advances
+	// with every applied batch and every overlay compaction.
+	Epoch        uint64 `json:"epoch"`
+	OverlayDepth int    `json:"overlay_depth"`
+	Compactions  int    `json:"compactions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -183,6 +188,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Batches:      ms.Batches,
 		Refreshes:    ms.Refreshes,
 		Stale:        ms.StaleNow,
+		Epoch:        ms.Epoch,
+		OverlayDepth: ms.OverlayDepth,
+		Compactions:  ms.Compactions,
 	})
 }
 
@@ -411,5 +419,6 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		"applied":   len(batch),
 		"refreshes": st.Refreshes,
 		"stale":     st.StaleNow,
+		"epoch":     st.Epoch,
 	})
 }

@@ -18,7 +18,7 @@ import (
 // pool captures the most of φ_k's probability mass; a user's DT row is
 // the sum of θ_u over the latent topics mapped to each vocabulary topic.
 // Tweet counts |τ_u| are the user's actual post counts.
-func InputFromLDA(g *graph.Graph, corpus *textgen.Corpus, cfg lda.Config) (*Input, error) {
+func InputFromLDA(g graph.View, corpus *textgen.Corpus, cfg lda.Config) (*Input, error) {
 	if corpus.NumUsers() != g.NumNodes() {
 		return nil, fmt.Errorf("twitterrank: corpus covers %d users, graph has %d", corpus.NumUsers(), g.NumNodes())
 	}

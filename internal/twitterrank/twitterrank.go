@@ -37,7 +37,7 @@ import (
 // Input bundles what TwitterRank needs beyond the graph: the user-topic
 // matrix and per-user tweet counts.
 type Input struct {
-	G *graph.Graph
+	G graph.View
 	// TopicDist is row-major n×T; row u is DT'_u (sums to 1 for users
 	// with any topic, all-zero otherwise).
 	TopicDist []float64
@@ -49,7 +49,7 @@ type Input struct {
 // profiles (uniform over labelN(u)) and tweet counts from in-degree+1
 // (popular accounts post and are retweeted more), a deterministic stand-in
 // for the paper's LDA topic distributions over real tweets.
-func InputFromProfiles(g *graph.Graph) *Input {
+func InputFromProfiles(g graph.View) *Input {
 	T := g.Vocabulary().Len()
 	n := g.NumNodes()
 	in := &Input{

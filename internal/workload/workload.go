@@ -54,7 +54,7 @@ func DefaultConfig() Config {
 }
 
 // Generate materializes the query stream for a graph.
-func Generate(g *graph.Graph, cfg Config) ([]Query, error) {
+func Generate(g graph.View, cfg Config) ([]Query, error) {
 	r := rand.New(rand.NewPCG(cfg.Seed, 0x10ad))
 	var pool []graph.NodeID
 	for u := 0; u < g.NumNodes(); u++ {
