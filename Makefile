@@ -38,6 +38,13 @@ bench:
 	$(GO) run ./cmd/trbench -exp bench-eval -bench-out BENCH_eval.json
 	$(GO) run ./cmd/trbench -exp bench-graph -bench-out BENCH_graph.json
 
+# bench-serve drives the load-managed serving path (coalescing, admission
+# control, degradation) against the in-process /v1 handler at 1x/4x/16x
+# closed-loop concurrency and rewrites BENCH_serve.json.
+.PHONY: bench-serve
+bench-serve:
+	$(GO) run ./cmd/trbench -exp bench-serve -bench-out BENCH_serve.json
+
 # fuzz smoke-runs the overlay equivalence fuzzer: random edge deltas must
 # leave the overlay observationally identical to a full rebuild.
 fuzz:

@@ -2,9 +2,12 @@
 // service over a generated (or loaded) dataset.
 //
 //	trserver -nodes 8000 -landmarks 30 -addr :8080
-//	curl 'localhost:8080/recommend?user=42&topic=technology&n=5'
-//	curl 'localhost:8080/recommend?user=42&topic=technology&method=tr'
-//	curl -X POST localhost:8080/updates -d '{"updates":[{"src":1,"dst":2,"topics":["technology"]}]}'
+//	curl 'localhost:8080/v1/recommend?user=42&topic=technology&n=5'
+//	curl 'localhost:8080/v1/recommend?user=42&topic=technology&method=tr'
+//	curl -X POST localhost:8080/v1/update -d '{"updates":[{"src":1,"dst":2,"topics":["technology"]}]}'
+//
+// The unversioned routes (/recommend, /updates, ...) remain as
+// deprecated aliases of the /v1 surface.
 package main
 
 import (
@@ -34,8 +37,12 @@ func main() {
 		landmarkN = flag.Int("landmarks", 30, "landmark count (In-Deg selection)")
 		topN      = flag.Int("store-topn", 500, "recommendations kept per landmark per topic")
 		strategy  = flag.String("refresh", "lazy", "landmark refresh strategy: eager, lazy, threshold")
-		reqTmo    = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline on /recommend (0 disables)")
+		reqTmo    = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline on /v1/recommend (0 disables)")
+		admission = server.DefaultAdmissionConfig()
+		degradeB  = flag.Duration("degrade-budget", server.DefaultDegradeBudget, "remaining-deadline floor below which exact-Tr queries degrade to the landmark approximation (0 disables)")
 	)
+	flag.IntVar(&admission.MaxInflight, "max-inflight", admission.MaxInflight, "concurrent recommendation computations (0 disables admission control)")
+	flag.IntVar(&admission.MaxQueue, "max-queue", admission.MaxQueue, "computations that may queue for a slot before requests are shed with 429")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -98,7 +105,8 @@ func main() {
 	log.Printf("ready in %s", time.Since(start).Round(time.Millisecond))
 
 	srv := server.New(mgr, core.DefaultParams().Beta,
-		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo))
-	fmt.Printf("serving on %s (try /health, /topics, /stats, /metrics, /recommend?user=42&topic=technology)\n", *addr)
+		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo),
+		server.WithAdmission(admission), server.WithDegradeBudget(*degradeB))
+	fmt.Printf("serving on %s (try /v1/health, /v1/topics, /v1/stats, /v1/metrics, /v1/recommend?user=42&topic=technology)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

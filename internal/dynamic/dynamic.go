@@ -31,6 +31,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/authority"
 	"repro/internal/core"
@@ -91,6 +93,14 @@ type Config struct {
 	// degrade gracefully, but a large delta wastes memory and map
 	// lookups). <= 0 uses 0.25.
 	CompactFraction float64
+	// RefreshBackoff throttles landmark-refresh retries after a failure.
+	// A failed refresh no longer propagates to the caller — the affected
+	// landmarks simply stay stale and are retried later — and no further
+	// refresh is attempted until the backoff window (doubled per
+	// consecutive failure, capped at 8x) has passed, so a persistently
+	// failing refresh can neither fail update batches nor starve queries
+	// with repeated refresh attempts. 0 uses 500ms.
+	RefreshBackoff time.Duration
 	// Metrics, when non-nil, receives maintenance counters and gauges
 	// (batches, edge changes, refreshes, stale landmarks) plus the
 	// preprocessing timings of every refresh. Equivalent to calling
@@ -107,6 +117,12 @@ type Stats struct {
 	EdgesAdded, EdgesRemoved int
 	// Refreshes counts landmark re-explorations.
 	Refreshes int
+	// RefreshFailures counts failed refresh runs (absorbed, not
+	// propagated; the affected landmarks stay stale).
+	RefreshFailures int
+	// RefreshDeferred counts refresh opportunities skipped because the
+	// manager was backing off after a failure.
+	RefreshDeferred int
 	// StaleNow is the current number of stale landmarks.
 	StaleNow int
 	// Compactions counts overlay stacks folded back into a fresh CSR.
@@ -130,6 +146,11 @@ type Manager struct {
 	mu    sync.Mutex
 	cfg   Config
 	view  graph.View // current epoch: the bottom CSR or an overlay stack
+	// viewPub is the lock-free published copy of view. Views are
+	// immutable, so Graph() serves from an atomic pointer instead of
+	// taking mu — the serving path (response enrichment, cache hits,
+	// request validation) never stalls behind an in-progress Apply.
+	viewPub atomic.Pointer[viewBox]
 	auth  *authority.Table
 	eng   *core.Engine
 	store *landmark.Store
@@ -141,6 +162,15 @@ type Manager struct {
 	// vocabulary, so one pool serves every engine generation.
 	pool *core.ScratchPool
 
+	// Refresh retry/backoff state: after a failed refresh, nextRefresh
+	// holds the earliest time another attempt may run and refreshFails
+	// counts consecutive failures (driving the exponential window).
+	nextRefresh  time.Time
+	refreshFails int
+	// refreshErrHook, when non-nil, is consulted before every refresh run
+	// — the test seam for injecting refresh failures.
+	refreshErrHook func() error
+
 	// Instrumentation: nil registry means no recording. The counters are
 	// resolved once at Instrument time so Apply's hot path is pure
 	// atomics.
@@ -149,6 +179,8 @@ type Manager struct {
 	mEdgesAdded   *metrics.Counter
 	mEdgesRemoved *metrics.Counter
 	mRefreshes    *metrics.Counter
+	mRefreshFails *metrics.Counter
+	mRefreshDefer *metrics.Counter
 	mCompactions  *metrics.Counter
 }
 
@@ -169,12 +201,16 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if cfg.CompactFraction <= 0 {
 		cfg.CompactFraction = 0.25
 	}
+	if cfg.RefreshBackoff == 0 {
+		cfg.RefreshBackoff = 500 * time.Millisecond
+	}
 	m := &Manager{
 		cfg:   cfg,
 		view:  g,
 		lms:   append([]graph.NodeID(nil), lms...),
 		stale: make(map[graph.NodeID]bool),
 	}
+	m.viewPub.Store(&viewBox{view: g})
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
 	}
@@ -201,11 +237,15 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mEdgesAdded = reg.Counter("dynamic_edges_added_total", "Follow edges added by updates.")
 	m.mEdgesRemoved = reg.Counter("dynamic_edges_removed_total", "Follow edges removed by updates.")
 	m.mRefreshes = reg.Counter("dynamic_landmark_refreshes_total", "Landmark re-explorations triggered by updates or queries.")
+	m.mRefreshFails = reg.Counter("dynamic_refresh_failures_total", "Failed landmark refresh runs (absorbed; landmarks stay stale).")
+	m.mRefreshDefer = reg.Counter("dynamic_refresh_deferred_total", "Refresh opportunities skipped while backing off after a failure.")
 	m.mCompactions = reg.Counter("dynamic_compactions_total", "Overlay stacks folded back into a fresh frozen graph.")
 	m.mBatches.Add(uint64(st.Batches))
 	m.mEdgesAdded.Add(uint64(st.EdgesAdded))
 	m.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
 	m.mRefreshes.Add(uint64(st.Refreshes))
+	m.mRefreshFails.Add(uint64(st.RefreshFailures))
+	m.mRefreshDefer.Add(uint64(st.RefreshDeferred))
 	m.mCompactions.Add(uint64(st.Compactions))
 	nLms := len(m.lms)
 	m.mu.Unlock()
@@ -235,11 +275,25 @@ func (m *Manager) rebuildEngine() error {
 	return nil
 }
 
+// viewBox wraps the published view so the atomic pointer has one
+// concrete type across *graph.Graph and *graph.Overlay epochs.
+type viewBox struct{ view graph.View }
+
+// publishViewLocked mirrors view into the lock-free pointer. Caller
+// holds mu.
+func (m *Manager) publishViewLocked() {
+	m.viewPub.Store(&viewBox{view: m.view})
+}
+
 // Graph returns the current graph view — the epoch the serving path
 // queries against. Views are immutable; each Apply atomically installs a
 // new one, so a caller may keep reading a returned view while updates
-// continue.
+// continue. The read is lock-free: it never waits for an in-progress
+// Apply.
 func (m *Manager) Graph() graph.View {
+	if b := m.viewPub.Load(); b != nil {
+		return b.view
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.view
@@ -346,6 +400,7 @@ func (m *Manager) Apply(batch []Update) error {
 	if m.mBatches != nil {
 		m.mBatches.Inc()
 	}
+	m.publishViewLocked()
 
 	// Mark affected landmarks. Authority scores shift globally with every
 	// degree change, but the dominant staleness comes from path changes:
@@ -356,10 +411,10 @@ func (m *Manager) Apply(batch []Update) error {
 
 	switch m.cfg.Strategy {
 	case Eager:
-		return m.refreshLocked(m.staleList())
+		m.tryRefreshLocked(m.staleList())
 	case Threshold:
 		if len(m.stale) >= m.cfg.StaleBound {
-			return m.refreshLocked(m.staleList())
+			m.tryRefreshLocked(m.staleList())
 		}
 	}
 	return nil
@@ -414,11 +469,53 @@ func (m *Manager) affectedLandmarks(batch []Update) []graph.NodeID {
 	return out
 }
 
+// tryRefreshLocked refreshes lms unless the manager is backing off after
+// a refresh failure. Failures are absorbed rather than propagated: the
+// landmarks stay stale (queries keep serving the previous store, updates
+// keep applying) and the next attempt waits out an exponential window —
+// the retry/backoff that keeps a broken refresh path from starving the
+// serving path. Caller holds mu.
+func (m *Manager) tryRefreshLocked(lms []graph.NodeID) {
+	if len(lms) == 0 {
+		return
+	}
+	if !m.nextRefresh.IsZero() && time.Now().Before(m.nextRefresh) {
+		m.stats.RefreshDeferred++
+		if m.mRefreshDefer != nil {
+			m.mRefreshDefer.Inc()
+		}
+		return
+	}
+	if err := m.refreshLocked(lms); err != nil {
+		m.refreshFails++
+		m.stats.RefreshFailures++
+		if m.mRefreshFails != nil {
+			m.mRefreshFails.Inc()
+		}
+		backoff := m.cfg.RefreshBackoff
+		if backoff > 0 {
+			shift := m.refreshFails - 1
+			if shift > 3 {
+				shift = 3 // cap the window at 8x the base backoff
+			}
+			m.nextRefresh = time.Now().Add(backoff << shift)
+		}
+		return
+	}
+	m.refreshFails = 0
+	m.nextRefresh = time.Time{}
+}
+
 // refreshLocked re-explores the given landmarks and clears their stale
 // marks. Caller holds mu.
 func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 	if len(lms) == 0 {
 		return nil
+	}
+	if m.refreshErrHook != nil {
+		if err := m.refreshErrHook(); err != nil {
+			return err
+		}
 	}
 	fresh, _ := landmark.Preprocess(m.eng, lms, landmark.PreprocessConfig{TopN: m.cfg.StoreTopN, Metrics: m.reg, Pool: m.pool})
 	for _, lm := range lms {
@@ -443,7 +540,9 @@ func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Score
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cfg.Strategy == Lazy && len(m.stale) > 0 {
-		// Refresh the stale landmarks in the query's vicinity.
+		// Refresh the stale landmarks in the query's vicinity; during a
+		// failure backoff the query proceeds against the previous store
+		// instead of waiting on (or failing with) the refresh.
 		var need []graph.NodeID
 		graph.BFSOut(m.view, u, m.cfg.QueryDepth, func(v graph.NodeID, depth int) bool {
 			if m.stale[v] {
@@ -451,9 +550,7 @@ func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Score
 			}
 			return true
 		})
-		if err := m.refreshLocked(need); err != nil {
-			return nil, err
-		}
+		m.tryRefreshLocked(need)
 	}
 	ap, err := landmark.NewApprox(m.eng, m.store, m.cfg.QueryDepth)
 	if err != nil {

@@ -1,7 +1,9 @@
 package dynamic
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -304,5 +306,78 @@ func TestCompactionByDeltaFraction(t *testing.T) {
 	}
 	if applied < threshold {
 		t.Fatalf("compacted after %d edges, before the %d-edge fraction threshold", applied, threshold)
+	}
+}
+
+// TestRefreshBackoffAbsorbsFailures exercises the refresh retry/backoff:
+// a failing refresh must neither fail the triggering query nor be
+// retried before its backoff window passes, and once the fault clears
+// the next opportunity refreshes normally.
+func TestRefreshBackoffAbsorbsFailures(t *testing.T) {
+	m, ds := newManager(t, Lazy, 3)
+	m.cfg.RefreshBackoff = 20 * time.Millisecond
+	lm := m.store.Landmarks()[0]
+	// A querier whose 2-hop vicinity contains the landmark, so its query
+	// triggers the lazy refresh.
+	var querier graph.NodeID
+	found := false
+	for u := 0; u < ds.Graph.NumNodes() && !found; u++ {
+		graph.BFSOut(m.Graph(), graph.NodeID(u), 2, func(v graph.NodeID, d int) bool {
+			if v == lm && d > 0 {
+				querier = graph.NodeID(u)
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Skip("no 2-hop querier for the landmark")
+	}
+	if err := m.Apply([]Update{{Edge: graph.Edge{Src: lm, Dst: (lm + 29) % 60, Label: topics.NewSet(1)}, Add: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().StaleNow == 0 {
+		t.Fatal("the touched landmark must be stale")
+	}
+
+	m.refreshErrHook = func() error { return errors.New("injected refresh fault") }
+	// The query meets the stale landmark, the refresh fails — but the
+	// failure is absorbed and the query still answers from the old store.
+	if _, err := m.Recommend(querier, 0, 5); err != nil {
+		t.Fatalf("query failed alongside the refresh: %v", err)
+	}
+	st := m.Stats()
+	if st.RefreshFailures != 1 || st.Refreshes != 0 {
+		t.Fatalf("failures = %d, refreshes = %d; want 1 and 0", st.RefreshFailures, st.Refreshes)
+	}
+	if st.StaleNow == 0 {
+		t.Fatal("failed refresh cleared the stale mark")
+	}
+	// Within the backoff window no refresh is attempted at all: the next
+	// query defers instead of hammering the failing path.
+	if _, err := m.Recommend(querier, 0, 5); err != nil {
+		t.Fatalf("query during backoff failed: %v", err)
+	}
+	st = m.Stats()
+	if st.RefreshDeferred == 0 {
+		t.Fatal("no refresh was deferred during the backoff window")
+	}
+	if st.RefreshFailures != 1 {
+		t.Fatalf("refresh retried inside the backoff window: %d failures", st.RefreshFailures)
+	}
+
+	// Fault clears, window passes: the next query refreshes normally.
+	m.refreshErrHook = nil
+	time.Sleep(40 * time.Millisecond)
+	if _, err := m.Recommend(querier, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.Refreshes == 0 {
+		t.Fatal("refresh did not resume after the backoff window")
+	}
+	if st.StaleNow != 0 {
+		t.Fatalf("%d landmarks still stale after a successful refresh", st.StaleNow)
 	}
 }

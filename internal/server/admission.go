@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by admission.acquire when the worker pool is
+// saturated and its queue is full; the handler maps it to 429 +
+// Retry-After.
+var errOverloaded = errors.New("server overloaded")
+
+// AdmissionConfig bounds the concurrent engine work the server performs.
+// Recommendation computations (not cache hits, not coalesced followers)
+// each occupy one pool slot; once MaxInflight slots are busy further
+// computations wait in a queue of at most MaxQueue, and beyond that they
+// are shed.
+type AdmissionConfig struct {
+	// MaxInflight is the number of computations allowed to run at once;
+	// <= 0 disables admission control entirely (every request computes).
+	MaxInflight int
+	// MaxQueue is how many computations may wait for a slot before the
+	// server starts shedding; 0 sheds as soon as every slot is busy.
+	MaxQueue int
+}
+
+// DefaultAdmissionConfig sizes the pool to the machine: GOMAXPROCS
+// computations in flight (floored at two) and an 8x queue, enough to
+// absorb bursts without letting the queue wait dominate latency.
+func DefaultAdmissionConfig() AdmissionConfig {
+	inflight := runtime.GOMAXPROCS(0)
+	if inflight < 2 {
+		inflight = 2
+	}
+	return AdmissionConfig{MaxInflight: inflight, MaxQueue: 8 * inflight}
+}
+
+// admission is the bounded worker pool. A nil *admission admits
+// everything, so callers never branch on whether admission is enabled.
+type admission struct {
+	sem      chan struct{} // capacity = MaxInflight; a held token = a running computation
+	maxQueue int64
+	waiting  atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &admission{
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		maxQueue: int64(cfg.MaxQueue),
+	}
+}
+
+// acquire claims one pool slot, queueing when all slots are busy. It
+// returns errOverloaded without blocking once the queue is full, and the
+// context's error if the caller's deadline expires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return errOverloaded
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// pressured reports whether computations are queueing for slots — the
+// signal the degradation policy uses to prefer cheap approximate answers
+// while the pool is saturated.
+func (a *admission) pressured() bool {
+	return a != nil && a.waiting.Load() > 0
+}
+
+// queueDepth and inflightNow feed the admission gauges.
+func (a *admission) queueDepth() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.waiting.Load()
+}
+
+func (a *admission) inflightNow() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.inflight.Load()
+}

@@ -1,0 +1,128 @@
+// api.go defines the versioned /v1 JSON surface: the uniform error
+// envelope, the decoded RecommendRequest shared by GET /v1/recommend and
+// POST /v1/recommend:batch, and the single validation path both go
+// through.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Error codes carried by the /v1 error envelope.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownTopic  = "unknown_topic"
+	CodeUnknownMethod = "unknown_method"
+	CodeOverloaded    = "overloaded"
+	CodeDeadline      = "deadline_exceeded"
+	CodeInternal      = "internal"
+)
+
+// ErrorBody is the uniform error envelope of the /v1 API: every
+// non-2xx JSON response is {"error": {"code": ..., "message": ...}}.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse wraps an ErrorBody for encoding.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// httpError pairs an HTTP status with an envelope body; handlers thread
+// it instead of writing responses from arbitrary depths.
+type httpError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, code, format string, args ...any) *httpError {
+	return &httpError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError renders the envelope; 429 responses advise a retry delay.
+func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
+	if e.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, e.status, errorResponse{Error: ErrorBody{Code: e.code, Message: e.msg}})
+}
+
+// RecommendRequest is the decoded form of one recommendation query — the
+// single place query parameters and batch items are parsed into, and the
+// single input of validation.
+type RecommendRequest struct {
+	User  int    `json:"user"`
+	Topic string `json:"topic"`
+	// N defaults to 10 when omitted.
+	N int `json:"n,omitempty"`
+	// Method defaults to "landmark" when omitted.
+	Method string `json:"method,omitempty"`
+}
+
+// recommendRequestFromQuery decodes GET /v1/recommend query parameters.
+func recommendRequestFromQuery(q url.Values) (RecommendRequest, *httpError) {
+	var req RecommendRequest
+	uid, err := strconv.Atoi(q.Get("user"))
+	if err != nil {
+		return req, errf(http.StatusBadRequest, CodeBadRequest, "bad user %q (want an integer)", q.Get("user"))
+	}
+	req.User = uid
+	req.Topic = q.Get("topic")
+	if ns := q.Get("n"); ns != "" {
+		n, err := strconv.Atoi(ns)
+		if err != nil {
+			return req, errf(http.StatusBadRequest, CodeBadRequest, "bad n %q (want an integer)", ns)
+		}
+		if n == 0 {
+			// An explicit n=0 is an error; only an omitted n means the
+			// default (0 is the "unset" value of the decoded form).
+			return req, errf(http.StatusBadRequest, CodeBadRequest, "bad n 0 (want 1..1000)")
+		}
+		req.N = n
+	}
+	req.Method = q.Get("method")
+	return req, nil
+}
+
+// validateRecommend checks one decoded request against the served graph
+// and vocabulary and normalizes it into the cache/coalesce key. All
+// validation for the single and batch endpoints happens here.
+func (s *Server) validateRecommend(req RecommendRequest) (cacheKey, *httpError) {
+	g := s.mgr.Graph()
+	if req.User < 0 || req.User >= g.NumNodes() {
+		return cacheKey{}, errf(http.StatusBadRequest, CodeBadRequest,
+			"bad user %d (want 0..%d)", req.User, g.NumNodes()-1)
+	}
+	t, ok := s.vocab.Lookup(req.Topic)
+	if !ok {
+		return cacheKey{}, errf(http.StatusBadRequest, CodeUnknownTopic, "unknown topic %q", req.Topic)
+	}
+	n := req.N
+	if n == 0 {
+		n = 10
+	}
+	if n < 1 || n > 1000 {
+		return cacheKey{}, errf(http.StatusBadRequest, CodeBadRequest, "bad n %d (want 1..1000)", req.N)
+	}
+	method := req.Method
+	if method == "" {
+		method = "landmark"
+	}
+	switch method {
+	case "tr", "landmark", "katz", "twitterrank":
+	default:
+		return cacheKey{}, errf(http.StatusBadRequest, CodeUnknownMethod,
+			"unknown method %q (tr, landmark, katz, twitterrank)", method)
+	}
+	return cacheKey{user: graph.NodeID(req.User), topic: t, n: n, method: method}, nil
+}

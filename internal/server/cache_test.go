@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/ranking"
 )
 
@@ -47,6 +48,42 @@ func TestResultCacheInvalidation(t *testing.T) {
 	c.put(k, []ranking.Scored{{Node: 5, Score: 0.6}})
 	if got, ok := c.get(k); !ok || got[0].Node != 5 {
 		t.Fatal("fresh entry lost")
+	}
+}
+
+// TestResultCacheInvalidateClears pins the eager-eviction fix: an
+// invalidation empties the cache immediately instead of leaving dead
+// entries resident until capacity pressure pushes them out.
+func TestResultCacheInvalidateClears(t *testing.T) {
+	c := newResultCache(64)
+	for i := 0; i < 5; i++ {
+		c.put(cacheKey{user: graph.NodeID(i), n: 10, method: "tr"},
+			[]ranking.Scored{{Node: 1, Score: 1}})
+	}
+	if c.len() != 5 {
+		t.Fatalf("len = %d before invalidation, want 5", c.len())
+	}
+	c.invalidate()
+	if c.len() != 0 {
+		t.Fatalf("invalidate left %d dead entries resident", c.len())
+	}
+}
+
+// TestResultCachePutAtStaleGeneration: a result computed before an
+// invalidation (a coalesced leader finishing late) must not install
+// itself into the post-update cache.
+func TestResultCachePutAtStaleGeneration(t *testing.T) {
+	c := newResultCache(8)
+	k := cacheKey{user: 1, topic: 2, n: 5, method: "landmark"}
+	gen := c.generation()
+	c.invalidate()
+	c.putAt(k, []ranking.Scored{{Node: 9, Score: 1}}, gen)
+	if _, ok := c.get(k); ok {
+		t.Fatal("pre-invalidation result was installed")
+	}
+	c.putAt(k, []ranking.Scored{{Node: 9, Score: 1}}, c.generation())
+	if _, ok := c.get(k); !ok {
+		t.Fatal("current-generation putAt was dropped")
 	}
 }
 

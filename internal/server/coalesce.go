@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ranking"
+)
+
+// flightKey scopes an in-flight computation to the cache generation it
+// started under. A computation begun before an update batch reflects the
+// pre-update graph; queries arriving after the invalidation must not
+// join it (they start a fresh call under the new generation), and its
+// result must not be cached into the post-update world.
+type flightKey struct {
+	cacheKey
+	gen int
+}
+
+// flightCall is one in-flight computation plus its eventual result.
+type flightCall struct {
+	done chan struct{}
+	// waiters counts followers currently blocked on done; tests use it to
+	// release a gated leader only after every follower has joined.
+	waiters atomic.Int64
+	scored  []ranking.Scored
+	err     error
+}
+
+// coalescer is a generation-aware singleflight over recommendation
+// computations: concurrent identical queries — same (user, topic, n,
+// method) at the same cache generation — share one engine exploration.
+// The leader executes and populates the result cache; followers block on
+// the leader's completion (or their own context) without consuming an
+// admission slot.
+type coalescer struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+	cache *resultCache
+}
+
+func newCoalescer(cache *resultCache) *coalescer {
+	return &coalescer{calls: make(map[flightKey]*flightCall), cache: cache}
+}
+
+// do returns fn's result for key, executing fn at most once across
+// concurrent identical calls at one cache generation. shared reports
+// whether this caller joined another call's execution instead of running
+// fn itself. The leader writes the result into the cache at the
+// generation the call started under, so a result computed before an
+// update can never be served after it.
+func (c *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]ranking.Scored, error)) (scored []ranking.Scored, shared bool, err error) {
+	gen := c.cache.generation()
+	fk := flightKey{cacheKey: key, gen: gen}
+	c.mu.Lock()
+	if call, ok := c.calls[fk]; ok {
+		c.mu.Unlock()
+		call.waiters.Add(1)
+		defer call.waiters.Add(-1)
+		select {
+		case <-call.done:
+			return call.scored, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.calls[fk] = call
+	c.mu.Unlock()
+
+	call.scored, call.err = fn()
+	if call.err == nil {
+		c.cache.putAt(key, call.scored, gen)
+	}
+	c.mu.Lock()
+	delete(c.calls, fk)
+	c.mu.Unlock()
+	close(call.done)
+	return call.scored, false, call.err
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultDegradeBudget is the remaining-deadline floor below which an
+// exact-Tr query falls back to the landmark approximation when no
+// latency observations exist yet. Once the server has observed real
+// exact-query latencies the threshold calibrates itself to twice their
+// moving average (see latencyEWMA.need).
+const DefaultDegradeBudget = 50 * time.Millisecond
+
+// ewmaAlpha is the smoothing factor of the exact-latency average: ~the
+// last 20 observations dominate, so the calibration tracks load shifts
+// without flapping on a single slow exploration.
+const ewmaAlpha = 0.2
+
+// latencyEWMA tracks an exponentially weighted moving average of
+// successful exact-Tr exploration latencies. It calibrates the
+// degradation threshold: an exact query whose remaining deadline cannot
+// fit a typical exploration (with 2x headroom) is not worth starting.
+type latencyEWMA struct {
+	mu  sync.Mutex
+	avg time.Duration
+}
+
+func (l *latencyEWMA) observe(d time.Duration) {
+	l.mu.Lock()
+	if l.avg == 0 {
+		l.avg = d
+	} else {
+		l.avg = time.Duration(float64(l.avg)*(1-ewmaAlpha) + float64(d)*ewmaAlpha)
+	}
+	l.mu.Unlock()
+}
+
+func (l *latencyEWMA) value() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.avg
+}
+
+// need returns the remaining-deadline budget below which an exact query
+// should degrade: twice the observed average exact latency, floored at
+// the configured static budget.
+func (l *latencyEWMA) need(budget time.Duration) time.Duration {
+	if avg := l.value(); 2*avg > budget {
+		return 2 * avg
+	}
+	return budget
+}
+
+// shouldDegrade decides whether an exact-Tr query must fall back to the
+// landmark-approximate engine: either the admission pool is under
+// pressure (computations are queueing, so every slot-second counts) or
+// the request's remaining deadline is below the calibrated budget (the
+// exploration would be cancelled mid-flight anyway). A zero degrade
+// budget disables degradation entirely — exact queries then run to their
+// deadline and answer 504 on expiry.
+func (s *Server) shouldDegrade(ctx context.Context) bool {
+	if s.degradeBudget <= 0 {
+		return false
+	}
+	if s.pool.pressured() {
+		return true
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) < s.trLat.need(s.degradeBudget) {
+		return true
+	}
+	return false
+}

@@ -73,6 +73,15 @@ func TestMetricsEndpointCoverage(t *testing.T) {
 		"updates_applied_total 1",
 		// Per-query exploration series from the exact path.
 		"core_explore_iterations_count",
+		// Load management: registered (and zero) on an idle server.
+		"coalesce_hits_total 0",
+		"requests_shed_total 0",
+		"requests_degraded_total 0",
+		"admission_inflight 0",
+		"admission_queue_depth 0",
+		// Dynamic refresh resilience.
+		"dynamic_refresh_failures_total 0",
+		"dynamic_refresh_deferred_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -84,24 +93,30 @@ func TestMetricsEndpointCoverage(t *testing.T) {
 }
 
 // TestRequestDeadline serves exact-Tr queries under a deadline that has
-// no chance of being met: the handler must answer 504 instead of pinning
-// the goroutine, and count the timeout.
+// no chance of being met, with degradation disabled: the handler must
+// answer 504 instead of pinning the goroutine, and count the timeout.
+// (With degradation left at its default the same query would answer 200
+// via the landmark fallback — load_test.go pins that behavior.)
 func TestRequestDeadline(t *testing.T) {
 	reg := metrics.NewRegistry()
 	mgr, _ := testManager(t, reg)
-	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg), WithRequestTimeout(time.Nanosecond))
+	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg),
+		WithRequestTimeout(time.Nanosecond), WithDegradeBudget(0))
 	srv := newTestHTTP(t, s)
 
-	var e map[string]string
-	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=tr", http.StatusGatewayTimeout, &e)
-	if !strings.Contains(e["error"], "deadline") {
-		t.Errorf("error body = %q, want a deadline message", e["error"])
+	var e errEnvelope
+	getJSON(t, srv.URL+"/v1/recommend?user=11&topic=technology&method=tr", http.StatusGatewayTimeout, &e)
+	if e.Error.Code != CodeDeadline {
+		t.Errorf("error code = %q, want %q", e.Error.Code, CodeDeadline)
+	}
+	if !strings.Contains(e.Error.Message, "deadline") {
+		t.Errorf("error message = %q, want a deadline message", e.Error.Message)
 	}
 	if got := reg.Counter("request_timeouts_total", "").Value(); got != 1 {
 		t.Errorf("request_timeouts_total = %d, want 1", got)
 	}
 	// Cached and landmark paths are unaffected by the deadline.
-	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=landmark", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/v1/recommend?user=11&topic=technology&method=landmark", http.StatusOK, nil)
 }
 
 // TestRequestTimeoutDisabled checks that WithRequestTimeout(0) turns the

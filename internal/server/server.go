@@ -5,15 +5,21 @@
 // landmark-approximate Tr, Katz, TwitterRank), reports dataset and
 // landmark-store statistics, and accepts follow/unfollow updates which it
 // maintains through the dynamic landmark-refresh machinery.
+//
+// The HTTP surface is versioned under /v1 (unversioned routes remain as
+// deprecated aliases), and the serving path is load-managed: concurrent
+// identical queries coalesce onto one engine exploration, engine work
+// runs under a bounded admission pool that sheds with 429 once its queue
+// fills, and exact-Tr queries degrade to the landmark approximation when
+// their deadline cannot fit an exploration or the pool is under pressure.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"log"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -27,11 +33,14 @@ import (
 	"repro/internal/twitterrank"
 )
 
-// DefaultRequestTimeout bounds one /recommend request unless overridden
-// with WithRequestTimeout. Exact-Tr queries run graph explorations to
-// convergence; without a deadline a pathological query pins its goroutine
-// for as long as the exploration takes.
+// DefaultRequestTimeout bounds one /v1/recommend request unless
+// overridden with WithRequestTimeout. Exact-Tr queries run graph
+// explorations to convergence; without a deadline a pathological query
+// pins its goroutine for as long as the exploration takes.
 const DefaultRequestTimeout = 30 * time.Second
+
+// maxBatchSize caps one /v1/recommend:batch request.
+const maxBatchSize = 64
 
 // Server is the HTTP facade. It is safe for concurrent requests; updates
 // are serialized by the underlying dynamic.Manager.
@@ -40,12 +49,25 @@ type Server struct {
 	vocab      *topics.Vocabulary
 	beta       float64
 	cache      *resultCache
+	flight     *coalescer
+	pool       *admission
+	poolCfg    AdmissionConfig
 	reg        *metrics.Registry
 	reqTimeout time.Duration
+	// degradeBudget is the static floor of the degradation threshold
+	// (see degrade.go); 0 disables degradation.
+	degradeBudget time.Duration
+	// trLat calibrates the degradation threshold from observed exact-Tr
+	// latencies.
+	trLat latencyEWMA
+	// computeHook, when non-nil, replaces the engine dispatch of compute
+	// — the test seam proving coalescing/shedding without real
+	// explorations.
+	computeHook func(ctx context.Context, key cacheKey) ([]ranking.Scored, error)
 	// pool recycles exploration scratches across baseline rebuilds; the
 	// graph's node count and vocabulary survive updates, so one pool
 	// outlives every rebuilt recommender.
-	pool *core.ScratchPool
+	scratch *core.ScratchPool
 
 	// Metric handles, resolved once at construction.
 	httpReqs        *metrics.CounterVec
@@ -53,6 +75,9 @@ type Server struct {
 	cacheHits       *metrics.Counter
 	cacheMisses     *metrics.Counter
 	cacheInvals     *metrics.Counter
+	coalesceHits    *metrics.Counter
+	shedReqs        *metrics.Counter
+	degradedReqs    *metrics.Counter
 	timeouts        *metrics.Counter
 	rebuilds        *metrics.CounterVec
 	rebuildSecs     *metrics.HistogramVec
@@ -74,29 +99,47 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
-// WithRequestTimeout sets the per-request deadline applied to /recommend;
-// d <= 0 disables the deadline.
+// WithRequestTimeout sets the per-request deadline applied to
+// /v1/recommend; d <= 0 disables the deadline.
 func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithAdmission replaces the default admission pool sizing. A
+// MaxInflight <= 0 disables admission control (and with it
+// pressure-based degradation).
+func WithAdmission(cfg AdmissionConfig) Option {
+	return func(s *Server) { s.poolCfg = cfg }
+}
+
+// WithDegradeBudget sets the static remaining-deadline floor below which
+// exact-Tr queries fall back to the landmark approximation; d <= 0
+// disables degradation (exact queries then 504 on deadline expiry).
+func WithDegradeBudget(d time.Duration) Option {
+	return func(s *Server) { s.degradeBudget = d }
 }
 
 // New builds a server over a dynamic manager. beta is the Katz decay used
 // for the baseline. Results are served from a small LRU that updates
 // invalidate wholesale. The manager is instrumented into the server's
-// registry, so GET /metrics covers the whole serving stack.
+// registry, so GET /v1/metrics covers the whole serving stack.
 func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 	s := &Server{
-		mgr:        mgr,
-		vocab:      mgr.Graph().Vocabulary(),
-		beta:       beta,
-		cache:      newResultCache(4096),
-		reqTimeout: DefaultRequestTimeout,
-		pool: core.NewScratchPool(mgr.Graph().NumNodes(),
+		mgr:           mgr,
+		vocab:         mgr.Graph().Vocabulary(),
+		beta:          beta,
+		cache:         newResultCache(4096),
+		reqTimeout:    DefaultRequestTimeout,
+		degradeBudget: DefaultDegradeBudget,
+		poolCfg:       DefaultAdmissionConfig(),
+		scratch: core.NewScratchPool(mgr.Graph().NumNodes(),
 			mgr.Graph().Vocabulary().Len()),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.flight = newCoalescer(s.cache)
+	s.pool = newAdmission(s.poolCfg)
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry()
 	}
@@ -109,6 +152,12 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 	s.cacheMisses = s.reg.Counter("cache_misses_total", "Recommendation-cache misses.")
 	s.cacheInvals = s.reg.Counter("cache_invalidations_total",
 		"Wholesale cache invalidations triggered by update batches.")
+	s.coalesceHits = s.reg.Counter("coalesce_hits_total",
+		"Requests served by joining an identical in-flight computation.")
+	s.shedReqs = s.reg.Counter("requests_shed_total",
+		"Recommendation requests shed with 429 by admission control.")
+	s.degradedReqs = s.reg.Counter("requests_degraded_total",
+		"Exact-Tr requests degraded to the landmark approximation.")
 	s.timeouts = s.reg.Counter("request_timeouts_total",
 		"Recommendation requests cancelled by the per-request deadline.")
 	s.rebuilds = s.reg.CounterVec("baseline_rebuilds_total",
@@ -119,6 +168,10 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 	s.updatesRejected = s.reg.Counter("updates_rejected_total", "Update items rejected by validation.")
 	s.reg.GaugeFunc("cache_entries", "Live entries in the recommendation cache.",
 		func() float64 { return float64(s.cache.len()) })
+	s.reg.GaugeFunc("admission_inflight", "Recommendation computations currently running.",
+		func() float64 { return float64(s.pool.inflightNow()) })
+	s.reg.GaugeFunc("admission_queue_depth", "Recommendation computations queued for a pool slot.",
+		func() float64 { return float64(s.pool.queueDepth()) })
 	return s
 }
 
@@ -126,17 +179,38 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 // subsystems or for tests).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
-// Handler returns the route table. Every route is wrapped in the request
-// middleware; /metrics exposes the registry in the Prometheus text
-// format.
+// Handler returns the route table: the versioned /v1 surface plus the
+// unversioned deprecated aliases, which log once and forward. Every
+// route is wrapped in the request middleware; /v1/metrics exposes the
+// registry in the Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /health", s.instrument("/health", s.handleHealth))
-	mux.HandleFunc("GET /topics", s.instrument("/topics", s.handleTopics))
-	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
-	mux.HandleFunc("GET /recommend", s.instrument("/recommend", s.handleRecommend))
-	mux.HandleFunc("POST /updates", s.instrument("/updates", s.handleUpdates))
-	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.reg.ServeHTTP))
+	v1 := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	v1("GET /v1/health", "/v1/health", s.handleHealth)
+	v1("GET /v1/topics", "/v1/topics", s.handleTopics)
+	v1("GET /v1/stats", "/v1/stats", s.handleStats)
+	v1("GET /v1/recommend", "/v1/recommend", s.handleRecommend)
+	v1("POST /v1/recommend:batch", "/v1/recommend:batch", s.handleRecommendBatch)
+	v1("POST /v1/update", "/v1/update", s.handleUpdates)
+	v1("GET /v1/metrics", "/v1/metrics", s.reg.ServeHTTP)
+
+	alias := func(pattern, route, successor string, h http.HandlerFunc) {
+		var once sync.Once
+		mux.HandleFunc(pattern, s.instrument(route, func(w http.ResponseWriter, r *http.Request) {
+			once.Do(func() {
+				log.Printf("server: route %s is deprecated, use %s", route, successor)
+			})
+			h(w, r)
+		}))
+	}
+	alias("GET /health", "/health", "/v1/health", s.handleHealth)
+	alias("GET /topics", "/topics", "/v1/topics", s.handleTopics)
+	alias("GET /stats", "/stats", "/v1/stats", s.handleStats)
+	alias("GET /recommend", "/recommend", "/v1/recommend", s.handleRecommend)
+	alias("POST /updates", "/updates", "/v1/update", s.handleUpdates)
+	alias("GET /metrics", "/metrics", "/v1/metrics", s.reg.ServeHTTP)
 	return mux
 }
 
@@ -144,10 +218,6 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // client hangup only
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -202,95 +272,140 @@ type Recommendation struct {
 	Follows int      `json:"followers"`
 }
 
-// RecommendResponse is the /recommend payload.
+// RecommendResponse is the /v1/recommend payload.
 type RecommendResponse struct {
-	Method  string           `json:"method"`
-	Topic   string           `json:"topic"`
-	TookUS  int64            `json:"took_us"`
+	Method string `json:"method"`
+	Topic  string `json:"topic"`
+	TookUS int64  `json:"took_us"`
+	// Degraded marks an exact-Tr query answered by the landmark
+	// approximation because the deadline or the admission pool could not
+	// fit an exact exploration.
+	Degraded bool `json:"degraded,omitempty"`
+	// Cache reports how the result was obtained: "hit", "miss" or
+	// "coalesced" (joined an identical in-flight computation).
+	Cache   string           `json:"cache,omitempty"`
 	Results []Recommendation `json:"results"`
 }
 
-func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	userStr := q.Get("user")
-	uid, err := strconv.Atoi(userStr)
-	g := s.mgr.Graph()
-	if err != nil || uid < 0 || uid >= g.NumNodes() {
-		writeErr(w, http.StatusBadRequest, "bad user %q (want 0..%d)", userStr, g.NumNodes()-1)
-		return
-	}
-	t, ok := s.vocab.Lookup(q.Get("topic"))
-	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown topic %q", q.Get("topic"))
-		return
-	}
-	n := 10
-	if ns := q.Get("n"); ns != "" {
-		if n, err = strconv.Atoi(ns); err != nil || n < 1 || n > 1000 {
-			writeErr(w, http.StatusBadRequest, "bad n %q (want 1..1000)", ns)
-			return
-		}
-	}
-	method := q.Get("method")
-	if method == "" {
-		method = "landmark"
-	}
-
-	ctx := r.Context()
+// requestCtx applies the configured per-request deadline.
+func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if s.reqTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
-		defer cancel()
+		return context.WithTimeout(ctx, s.reqTimeout)
+	}
+	return ctx, func() {}
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	req, herr := recommendRequestFromQuery(r.URL.Query())
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	key, herr := s.validateRecommend(req)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context())
+	defer cancel()
+	resp, herr := s.serveRecommend(ctx, key)
+	if herr != nil {
+		s.writeError(w, herr)
+		return
+	}
+	w.Header().Set("X-Cache", resp.Cache)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchResult is one element of the /v1/recommend:batch response; items
+// fail independently, carrying either a response or an error envelope.
+type BatchResult struct {
+	Response *RecommendResponse `json:"response,omitempty"`
+	Error    *ErrorBody         `json:"error,omitempty"`
+}
+
+// handleRecommendBatch accepts a JSON array of RecommendRequest and
+// answers each through the same validated, coalesced, admission-gated
+// path as the single endpoint — duplicate items within one batch (or
+// across concurrent batches) share one computation via the coalescer and
+// the result cache.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "empty batch"))
+		return
+	}
+	if len(reqs) > maxBatchSize {
+		s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest,
+			"batch of %d exceeds the %d-item limit", len(reqs), maxBatchSize))
+		return
+	}
+	ctx, cancel := s.requestCtx(r.Context())
+	defer cancel()
+	results := make([]BatchResult, len(reqs))
+	for i, req := range reqs {
+		key, herr := s.validateRecommend(req)
+		if herr == nil {
+			var resp *RecommendResponse
+			if resp, herr = s.serveRecommend(ctx, key); herr == nil {
+				results[i] = BatchResult{Response: resp}
+				continue
+			}
+		}
+		results[i] = BatchResult{Error: &ErrorBody{Code: herr.code, Message: herr.msg}}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// serveRecommend answers one validated query through the load-managed
+// path: degradation decision, result cache, then the coalesced,
+// admission-gated computation.
+func (s *Server) serveRecommend(ctx context.Context, key cacheKey) (*RecommendResponse, *httpError) {
+	start := time.Now()
+	effKey := key
+	degraded := false
+	if key.method == "tr" && s.shouldDegrade(ctx) {
+		// The landmark approximation answers instead; computing (and
+		// caching) under the landmark key means degraded queries and
+		// plain landmark queries share work in both directions.
+		effKey.method = "landmark"
+		degraded = true
+		s.degradedReqs.Inc()
 	}
 
-	key := cacheKey{user: graph.NodeID(uid), topic: t, n: n, method: method}
-	start := time.Now()
-	scored, cached := s.cache.get(key)
-	if !cached {
-		switch method {
-		case "landmark":
-			scored, err = s.mgr.Recommend(graph.NodeID(uid), t, n)
-			if err != nil {
-				writeErr(w, http.StatusInternalServerError, "landmark recommendation failed: %v", err)
-				return
-			}
-		case "tr":
-			scored, err = s.mgr.RecommendExactCtx(ctx, graph.NodeID(uid), t, n)
-			if err != nil {
-				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-					s.timeouts.Inc()
-					writeErr(w, http.StatusGatewayTimeout, "exact recommendation exceeded the %s deadline", s.reqTimeout)
-					return
-				}
-				writeErr(w, http.StatusInternalServerError, "exact recommendation failed: %v", err)
-				return
-			}
-		case "katz", "twitterrank":
-			rec, err := s.baseline(method)
-			if err != nil {
-				writeErr(w, http.StatusInternalServerError, "building %s: %v", method, err)
-				return
-			}
-			scored = rec.Recommend(graph.NodeID(uid), t, n)
-		default:
-			writeErr(w, http.StatusBadRequest, "unknown method %q (tr, landmark, katz, twitterrank)", method)
-			return
-		}
-		s.cache.put(key, scored)
-	}
-	took := time.Since(start)
+	scored, cached := s.cache.get(effKey)
+	source := "hit"
 	if cached {
 		s.cacheHits.Inc()
-		w.Header().Set("X-Cache", "hit")
 	} else {
-		s.cacheMisses.Inc()
-		w.Header().Set("X-Cache", "miss")
+		var shared bool
+		var err error
+		scored, shared, err = s.flight.do(ctx, effKey, func() ([]ranking.Scored, error) {
+			return s.compute(ctx, effKey)
+		})
+		if err != nil {
+			return nil, s.computeError(key.method, err)
+		}
+		if shared {
+			source = "coalesced"
+			s.coalesceHits.Inc()
+		} else {
+			source = "miss"
+			s.cacheMisses.Inc()
+		}
 	}
 
-	resp := RecommendResponse{
-		Method: method,
-		Topic:  s.vocab.Name(t),
-		TookUS: took.Microseconds(),
+	g := s.mgr.Graph()
+	resp := &RecommendResponse{
+		Method:   key.method,
+		Topic:    s.vocab.Name(key.topic),
+		Degraded: degraded,
+		Cache:    source,
+		TookUS:   time.Since(start).Microseconds(),
 	}
 	for _, sc := range scored {
 		resp.Results = append(resp.Results, Recommendation{
@@ -300,7 +415,55 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			Follows: g.InDegree(sc.Node),
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+// compute runs the underlying engine for one validated query. It is the
+// only path that touches the exploration engines, and it runs under the
+// admission pool: when every slot is busy and the queue is full the
+// query is shed with errOverloaded before any engine work starts.
+func (s *Server) compute(ctx context.Context, key cacheKey) ([]ranking.Scored, error) {
+	if err := s.pool.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.pool.release()
+	if s.computeHook != nil {
+		return s.computeHook(ctx, key)
+	}
+	switch key.method {
+	case "landmark":
+		return s.mgr.Recommend(key.user, key.topic, key.n)
+	case "tr":
+		t0 := time.Now()
+		scored, err := s.mgr.RecommendExactCtx(ctx, key.user, key.topic, key.n)
+		if err == nil {
+			s.trLat.observe(time.Since(t0))
+		}
+		return scored, err
+	default: // katz, twitterrank — validated upstream
+		rec, err := s.baseline(key.method)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Recommend(key.user, key.topic, key.n), nil
+	}
+}
+
+// computeError maps a computation failure onto the error envelope.
+func (s *Server) computeError(method string, err error) *httpError {
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.shedReqs.Inc()
+		return errf(http.StatusTooManyRequests, CodeOverloaded,
+			"server overloaded, retry later")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.timeouts.Inc()
+		return errf(http.StatusGatewayTimeout, CodeDeadline,
+			"%s recommendation exceeded the %s deadline", method, s.reqTimeout)
+	default:
+		return errf(http.StatusInternalServerError, CodeInternal,
+			"%s recommendation failed: %v", method, err)
+	}
 }
 
 func splitTopics(v *topics.Vocabulary, s topics.Set) []string {
@@ -327,7 +490,7 @@ func (s *Server) baseline(method string) (ranking.Recommender, error) {
 			if err != nil {
 				return nil, err
 			}
-			rec.UseScratchPool(s.pool)
+			rec.UseScratchPool(s.scratch)
 			s.katzRec = rec
 			s.recordRebuild("katz", time.Since(start))
 		}
@@ -352,7 +515,7 @@ func (s *Server) recordRebuild(method string, took time.Duration) {
 	s.rebuildSecs.With(method).ObserveDuration(took)
 }
 
-// UpdateRequest is the /updates payload: a batch of follow/unfollow
+// UpdateRequest is the /v1/update payload: a batch of follow/unfollow
 // changes.
 type UpdateRequest struct {
 	Updates []UpdateItem `json:"updates"`
@@ -370,12 +533,12 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.updatesRejected.Inc()
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "bad JSON: %v", err))
 		return
 	}
 	if len(req.Updates) == 0 {
 		s.updatesRejected.Inc()
-		writeErr(w, http.StatusBadRequest, "empty update batch")
+		s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "empty update batch"))
 		return
 	}
 	g := s.mgr.Graph()
@@ -383,23 +546,23 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	for i, item := range req.Updates {
 		if int(item.Src) >= g.NumNodes() || int(item.Dst) >= g.NumNodes() {
 			s.updatesRejected.Inc()
-			writeErr(w, http.StatusBadRequest, "update %d references unknown user", i)
+			s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "update %d references unknown user", i))
 			return
 		}
 		if item.Src == item.Dst {
 			s.updatesRejected.Inc()
-			writeErr(w, http.StatusBadRequest, "update %d is a self-follow", i)
+			s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "update %d is a self-follow", i))
 			return
 		}
 		lbl, err := s.vocab.SetOf(item.Topics...)
 		if err != nil {
 			s.updatesRejected.Inc()
-			writeErr(w, http.StatusBadRequest, "update %d: %v", i, err)
+			s.writeError(w, errf(http.StatusBadRequest, CodeUnknownTopic, "update %d: %v", i, err))
 			return
 		}
 		if lbl.IsEmpty() && !item.Remove {
 			s.updatesRejected.Inc()
-			writeErr(w, http.StatusBadRequest, "update %d: a follow needs at least one topic", i)
+			s.writeError(w, errf(http.StatusBadRequest, CodeBadRequest, "update %d: a follow needs at least one topic", i))
 			return
 		}
 		batch = append(batch, dynamic.Update{
@@ -408,7 +571,7 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	if err := s.mgr.Apply(batch); err != nil {
-		writeErr(w, http.StatusInternalServerError, "applying updates: %v", err)
+		s.writeError(w, errf(http.StatusInternalServerError, CodeInternal, "applying updates: %v", err))
 		return
 	}
 	s.updatesApplied.Add(uint64(len(batch)))

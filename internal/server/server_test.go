@@ -76,14 +76,14 @@ func getJSON(t *testing.T, url string, wantCode int, out any) {
 func TestHealthAndTopics(t *testing.T) {
 	srv, ds := testServer(t)
 	var health map[string]string
-	getJSON(t, srv.URL+"/health", http.StatusOK, &health)
+	getJSON(t, srv.URL+"/v1/health", http.StatusOK, &health)
 	if health["status"] != "ok" {
 		t.Errorf("health = %v", health)
 	}
 	var tp struct {
 		Topics []string `json:"topics"`
 	}
-	getJSON(t, srv.URL+"/topics", http.StatusOK, &tp)
+	getJSON(t, srv.URL+"/v1/topics", http.StatusOK, &tp)
 	if len(tp.Topics) != ds.Vocabulary().Len() {
 		t.Errorf("%d topics, want %d", len(tp.Topics), ds.Vocabulary().Len())
 	}
@@ -92,7 +92,7 @@ func TestHealthAndTopics(t *testing.T) {
 func TestStats(t *testing.T) {
 	srv, ds := testServer(t)
 	var st StatsResponse
-	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	getJSON(t, srv.URL+"/v1/stats", http.StatusOK, &st)
 	if st.Nodes != ds.Graph.NumNodes() || st.Edges != ds.Graph.NumEdges() {
 		t.Errorf("stats = %+v", st)
 	}
@@ -102,7 +102,7 @@ func TestRecommendMethods(t *testing.T) {
 	srv, _ := testServer(t)
 	for _, method := range []string{"landmark", "tr", "katz", "twitterrank"} {
 		var resp RecommendResponse
-		getJSON(t, fmt.Sprintf("%s/recommend?user=11&topic=technology&n=5&method=%s", srv.URL, method),
+		getJSON(t, fmt.Sprintf("%s/v1/recommend?user=11&topic=technology&n=5&method=%s", srv.URL, method),
 			http.StatusOK, &resp)
 		if resp.Method != method {
 			t.Errorf("method echoed as %q", resp.Method)
@@ -118,33 +118,73 @@ func TestRecommendMethods(t *testing.T) {
 	}
 	// Default method is landmark.
 	var resp RecommendResponse
-	getJSON(t, srv.URL+"/recommend?user=11&topic=technology", http.StatusOK, &resp)
+	getJSON(t, srv.URL+"/v1/recommend?user=11&topic=technology", http.StatusOK, &resp)
 	if resp.Method != "landmark" {
 		t.Errorf("default method = %q", resp.Method)
 	}
 }
 
+// errEnvelope mirrors the uniform /v1 error shape for decoding.
+type errEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
 func TestRecommendErrors(t *testing.T) {
 	srv, _ := testServer(t)
-	cases := []string{
-		"/recommend?user=abc&topic=technology",
-		"/recommend?user=999999&topic=technology",
-		"/recommend?user=-1&topic=technology",
-		"/recommend?topic=technology", // user missing entirely
-		"/recommend?user=1",           // topic missing entirely
-		"/recommend?user=1&topic=nope",
-		"/recommend?user=1&topic=technology&n=0",
-		"/recommend?user=1&topic=technology&n=-3",
-		"/recommend?user=1&topic=technology&n=99999",
-		"/recommend?user=1&topic=technology&n=five",
-		"/recommend?user=1&topic=technology&method=magic",
+	cases := []struct {
+		path string
+		code string
+	}{
+		{"/v1/recommend?user=abc&topic=technology", CodeBadRequest},
+		{"/v1/recommend?user=999999&topic=technology", CodeBadRequest},
+		{"/v1/recommend?user=-1&topic=technology", CodeBadRequest},
+		{"/v1/recommend?topic=technology", CodeBadRequest}, // user missing entirely
+		{"/v1/recommend?user=1", CodeUnknownTopic},         // topic missing entirely
+		{"/v1/recommend?user=1&topic=nope", CodeUnknownTopic},
+		{"/v1/recommend?user=1&topic=technology&n=0", CodeBadRequest},
+		{"/v1/recommend?user=1&topic=technology&n=-3", CodeBadRequest},
+		{"/v1/recommend?user=1&topic=technology&n=99999", CodeBadRequest},
+		{"/v1/recommend?user=1&topic=technology&n=five", CodeBadRequest},
+		{"/v1/recommend?user=1&topic=technology&method=magic", CodeUnknownMethod},
 	}
 	for _, c := range cases {
-		var e map[string]string
-		getJSON(t, srv.URL+c, http.StatusBadRequest, &e)
-		if e["error"] == "" {
-			t.Errorf("%s: missing error body", c)
+		var e errEnvelope
+		getJSON(t, srv.URL+c.path, http.StatusBadRequest, &e)
+		if e.Error.Code != c.code {
+			t.Errorf("%s: error code %q, want %q", c.path, e.Error.Code, c.code)
 		}
+		if e.Error.Message == "" {
+			t.Errorf("%s: missing error message", c.path)
+		}
+	}
+}
+
+func TestDeprecatedAliasesForward(t *testing.T) {
+	srv, ds := testServer(t)
+	// The unversioned routes answer identically to their /v1 successors.
+	var health map[string]string
+	getJSON(t, srv.URL+"/health", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Errorf("deprecated /health = %v", health)
+	}
+	var st StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Nodes != ds.Graph.NumNodes() {
+		t.Errorf("deprecated /stats nodes = %d", st.Nodes)
+	}
+	var resp RecommendResponse
+	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&n=5", http.StatusOK, &resp)
+	if resp.Method != "landmark" || len(resp.Results) == 0 {
+		t.Errorf("deprecated /recommend = %+v", resp)
+	}
+	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+		{Src: 2, Dst: 3, Topics: []string{"technology"}},
+	}}, http.StatusOK, nil)
+	// Deprecated errors use the same envelope.
+	var e errEnvelope
+	getJSON(t, srv.URL+"/recommend?user=1&topic=nope", http.StatusBadRequest, &e)
+	if e.Error.Code != CodeUnknownTopic {
+		t.Errorf("deprecated route error code = %q", e.Error.Code)
 	}
 }
 
@@ -161,6 +201,10 @@ func TestMethodNotAllowed(t *testing.T) {
 		{http.MethodPut, "/updates"},
 		{http.MethodPost, "/health"},
 		{http.MethodPost, "/metrics"},
+		{http.MethodPost, "/v1/recommend?user=1&topic=technology"},
+		{http.MethodGet, "/v1/update"},
+		{http.MethodGet, "/v1/recommend:batch"},
+		{http.MethodPost, "/v1/metrics"},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
@@ -234,6 +278,60 @@ func TestUpdatesFlow(t *testing.T) {
 		t.Errorf("edges = %d, want %d after add+remove", final.Edges, before.Edges)
 	}
 	_ = ds
+}
+
+// TestRecommendBatch drives POST /v1/recommend:batch: items succeed and
+// fail independently, duplicates within a batch share the cache, and the
+// JSON side's omitted n falls back to the default 10.
+func TestRecommendBatch(t *testing.T) {
+	srv, _ := testServer(t)
+	var out struct {
+		Results []BatchResult `json:"results"`
+	}
+	postJSON(t, srv.URL+"/v1/recommend:batch", []RecommendRequest{
+		{User: 11, Topic: "technology", N: 5},
+		{User: 11, Topic: "technology", N: 5}, // duplicate: served from cache
+		{User: -1, Topic: "technology"},
+		{User: 1, Topic: "nope"},
+		{User: 12, Topic: "technology"}, // n omitted: default 10
+	}, http.StatusOK, &out)
+	if len(out.Results) != 5 {
+		t.Fatalf("%d results, want 5", len(out.Results))
+	}
+	first := out.Results[0]
+	if first.Error != nil || first.Response == nil || first.Response.Cache != "miss" {
+		t.Errorf("item 0 = %+v, want a fresh response", first)
+	}
+	dup := out.Results[1]
+	if dup.Response == nil || dup.Response.Cache != "hit" {
+		t.Errorf("duplicate item = %+v, want a cache hit", dup)
+	}
+	if e := out.Results[2].Error; e == nil || e.Code != CodeBadRequest {
+		t.Errorf("item 2 error = %+v, want %s", out.Results[2].Error, CodeBadRequest)
+	}
+	if e := out.Results[3].Error; e == nil || e.Code != CodeUnknownTopic {
+		t.Errorf("item 3 error = %+v, want %s", out.Results[3].Error, CodeUnknownTopic)
+	}
+	if r := out.Results[4].Response; r == nil || len(r.Results) == 0 || len(r.Results) > 10 {
+		t.Errorf("item 4 = %+v, want up to 10 default results", out.Results[4])
+	}
+
+	// Batch-level validation: empty and oversized batches are rejected
+	// whole, as is a malformed body.
+	postJSON(t, srv.URL+"/v1/recommend:batch", []RecommendRequest{}, http.StatusBadRequest, nil)
+	big := make([]RecommendRequest, maxBatchSize+1)
+	for i := range big {
+		big[i] = RecommendRequest{User: 1, Topic: "technology"}
+	}
+	postJSON(t, srv.URL+"/v1/recommend:batch", big, http.StatusBadRequest, nil)
+	resp, err := http.Post(srv.URL+"/v1/recommend:batch", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage batch body: status %d", resp.StatusCode)
+	}
 }
 
 func TestUpdatesValidation(t *testing.T) {
