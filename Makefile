@@ -13,8 +13,11 @@ test:
 
 # Race-hardened packages: the serving path, the metric registry, the
 # graph views and the scoring engine (its shared similarity cache is hit
-# concurrently) are exercised under the race detector on every check; a
-# full -race run over the repository is `make race-all`.
+# concurrently) are exercised under the race detector on every check.
+# The ./internal/graph/ and ./internal/core/ runs include the relabeling
+# and kernel differential suites (plus the fuzzers' seed corpora), so the
+# permutation boundary and the float32 kernel are race-checked on every
+# check too; a full -race run over the repository is `make race-all`.
 race:
 	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/...
 
@@ -25,7 +28,24 @@ race-all:
 vet:
 	$(GO) vet ./...
 
-check: build vet test race
+check: build vet test race kernel-gate
+
+# kernel-gate is the exploration-loop allocation regression guard: the
+# dense and relabeled-kernel Explore benchmarks must stay within the
+# recorded allocs/op baselines (seed dense path: 121 allocs/op, cache-
+# aware kernel: 124 allocs/op on the 3000-node bench graph; the bounds
+# below leave slack for runtime jitter). A refactor that reintroduces
+# per-hop or per-edge allocation trips this before it needs a profile.
+KERNEL_GATE_DENSE_ALLOCS ?= 135
+KERNEL_GATE_KERNEL_ALLOCS ?= 140
+.PHONY: kernel-gate
+kernel-gate:
+	$(GO) test -run='^$$' -bench='^BenchmarkExplore(Dense|KernelDegree)$$' -benchmem ./internal/core/ | \
+	awk -v dense=$(KERNEL_GATE_DENSE_ALLOCS) -v kern=$(KERNEL_GATE_KERNEL_ALLOCS) '{ print } \
+		/^BenchmarkExploreDense/ { seenD = 1; if ($$7+0 > dense) { printf "kernel-gate: dense explore %d allocs/op exceeds baseline %d\n", $$7, dense; bad = 1 } } \
+		/^BenchmarkExploreKernelDegree/ { seenK = 1; if ($$7+0 > kern) { printf "kernel-gate: kernel explore %d allocs/op exceeds baseline %d\n", $$7, kern; bad = 1 } } \
+		/^FAIL/ { bad = 1 } \
+		END { if (!seenD || !seenK) { print "kernel-gate: benchmarks did not run"; bad = 1 } exit bad }'
 
 # bench watches the hot path: the Explore microbenchmarks (allocs/op is
 # the regression guard for the exploration loop), the overlay-vs-rebuild
@@ -45,10 +65,20 @@ bench:
 bench-serve:
 	$(GO) run ./cmd/trbench -exp bench-serve -bench-out BENCH_serve.json
 
-# fuzz smoke-runs the overlay equivalence fuzzer: random edge deltas must
-# leave the overlay observationally identical to a full rebuild.
+# bench-kernel compares the seed dense exploration against the
+# cache-topology-aware float32 kernel under both relabeling orders and
+# rewrites BENCH_kernel.json (it also re-verifies the kernel's Kendall
+# ordering bound before timing anything).
+.PHONY: bench-kernel
+bench-kernel:
+	$(GO) run ./cmd/trbench -exp bench-kernel -bench-out BENCH_kernel.json
+
+# fuzz smoke-runs the equivalence fuzzers: random edge deltas must leave
+# the overlay observationally identical to a full rebuild, and random
+# graphs must survive a relabeling round trip unchanged.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzOverlayEquivalence -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzRelabelEquivalence -fuzztime=10s ./internal/graph/
 
 .PHONY: bench-all
 bench-all:

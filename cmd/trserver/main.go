@@ -40,6 +40,7 @@ func main() {
 		reqTmo    = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline on /v1/recommend (0 disables)")
 		admission = server.DefaultAdmissionConfig()
 		degradeB  = flag.Duration("degrade-budget", server.DefaultDegradeBudget, "remaining-deadline floor below which exact-Tr queries degrade to the landmark approximation (0 disables)")
+		optLayout = flag.Bool("optimize-layout", false, "relabel frozen engines into the cache-aware degree order (float32 exploration kernel; re-optimized at each compaction)")
 	)
 	flag.IntVar(&admission.MaxInflight, "max-inflight", admission.MaxInflight, "concurrent recommendation computations (0 disables admission control)")
 	flag.IntVar(&admission.MaxQueue, "max-queue", admission.MaxQueue, "computations that may queue for a slot before requests are shed with 429")
@@ -92,12 +93,13 @@ func main() {
 	// initial preprocessing run as well as everything served afterwards.
 	reg := metrics.NewRegistry()
 	mgr, err := dynamic.NewManager(g, lms, dynamic.Config{
-		Params:     core.DefaultParams(),
-		Sim:        sim,
-		StoreTopN:  *topN,
-		QueryDepth: 2,
-		Strategy:   strat,
-		Metrics:    reg,
+		Params:         core.DefaultParams(),
+		Sim:            sim,
+		StoreTopN:      *topN,
+		QueryDepth:     2,
+		Strategy:       strat,
+		Metrics:        reg,
+		OptimizeLayout: *optLayout,
 	})
 	if err != nil {
 		log.Fatal(err)

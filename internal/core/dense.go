@@ -19,6 +19,11 @@ const (
 	// node id plus an explicit frontier list: the preprocessing fast
 	// path.
 	DenseMode
+	// KernelMode requests the cache-topology-aware float32 kernel of an
+	// Optimized engine (kernel.go). On engines without an optimized
+	// layout it falls back to DenseMode. AutoMode also routes to the
+	// kernel whenever a layout is attached — attaching one is the opt-in.
+	KernelMode
 )
 
 // Scratch holds the dense buffers of one in-flight exploration so repeated
@@ -33,6 +38,11 @@ type Scratch struct {
 	inCur, inNext         []bool
 	curList, nextList     []graph.NodeID
 	perTopic              []float64 // per-hop topic-mass accumulator, len k
+
+	// kern rides along so the kernel mode's tile pool travels through the
+	// existing ScratchPool plumbing; nil until the first kernel
+	// exploration uses this scratch.
+	kern *kernelScratch
 }
 
 // NewScratch sizes a scratch for the engine's graph and full vocabulary.
@@ -54,6 +64,20 @@ func newScratchDims(n, k int) *Scratch {
 
 // fits reports whether the scratch matches the requested dimensions.
 func (s *Scratch) fits(n, k int) bool { return s != nil && s.n == n && s.k >= k }
+
+// frontierOutBound sums the frontier's out-degrees, capped at n (a
+// frontier can never exceed the node count). Degrees are O(1) reads off
+// the CSR prefix-sum array, so the bound costs O(frontier) per hop.
+func frontierOutBound(v graph.View, frontier []graph.NodeID, n int) int {
+	need := 0
+	for _, w := range frontier {
+		need += v.OutDegree(w)
+		if need >= n {
+			return n
+		}
+	}
+	return need
+}
 
 // cancelCheckStride bounds how many frontier expansions run between
 // context checks inside one hop: deep hops over large graphs can take
@@ -110,6 +134,12 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 			break
 		}
 		s.nextList = s.nextList[:0]
+		// Pre-size the next frontier from the CSR degree prefix sums: the
+		// frontier's total out-degree is an exact upper bound on the nodes
+		// one hop can reach, so growth never reallocates mid-hop.
+		if need := frontierOutBound(e.g, s.curList, n); cap(s.nextList) < need {
+			s.nextList = make([]graph.NodeID, 0, need)
+		}
 		expanded := 0
 		for _, w := range s.curList {
 			if opts.Ctx != nil {

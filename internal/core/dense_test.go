@@ -106,7 +106,14 @@ func TestScratchWrongSizeFallsBack(t *testing.T) {
 func BenchmarkExploreMap(b *testing.B)   { benchExplore(b, MapMode) }
 func BenchmarkExploreDense(b *testing.B) { benchExplore(b, DenseMode) }
 
-func benchExplore(b *testing.B, mode Mode) {
+// The kernel benchmarks run the same workload through the cache-aware
+// float32 kernel under each relabeling order; comparing them against
+// BenchmarkExploreDense is the tentpole speedup measurement (and the
+// Makefile's kernel-gate regression guard).
+func BenchmarkExploreKernelDegree(b *testing.B) { benchExplore(b, KernelMode, graph.DegreeOrder) }
+func BenchmarkExploreKernelBFS(b *testing.B)    { benchExplore(b, KernelMode, graph.BFSOrder) }
+
+func benchExplore(b *testing.B, mode Mode, order ...graph.Order) {
 	cfg := gen.DefaultTwitterConfig()
 	cfg.Nodes = 3000
 	ds, err := gen.Twitter(cfg)
@@ -117,7 +124,13 @@ func benchExplore(b *testing.B, mode Mode) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if mode == KernelMode {
+		if e, err = e.Optimized(order[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
 	scratch := NewScratch(e)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x := e.ExploreOpts(graph.NodeID(i%ds.Graph.NumNodes()), nil, ExploreOptions{

@@ -173,6 +173,10 @@ type Engine struct {
 	// ones is the all-ones row used by variants without a similarity or
 	// authority factor.
 	ones []float64
+	// layout, when non-nil, holds the cache-topology-aware kernel state
+	// built by Optimized: the relabeled CSR and float32 factor mirrors.
+	// Engines without a layout run the exact float64 modes only.
+	layout *layout
 }
 
 // NewEngine assembles an engine over any graph View. auth may be nil for
@@ -233,6 +237,10 @@ func (e *Engine) Derive(v graph.View, auth *authority.Table) (*Engine, error) {
 	if needAuth && auth == nil {
 		return nil, fmt.Errorf("core: variant %v requires an authority table", e.params.Variant)
 	}
+	// The derived engine deliberately carries no layout: an optimized
+	// relabeling describes one frozen edge set, and v's overlay delta
+	// invalidates it. Derived engines run the exact modes until the owner
+	// re-optimizes (dynamic.Manager does so at compaction).
 	ne := &Engine{g: v, auth: auth, sim: e.sim, params: e.params, simc: e.simc, ones: e.ones}
 	if ne.simc != nil {
 		if ov, ok := v.(*graph.Overlay); ok {

@@ -164,10 +164,18 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 	if maxDepth <= 0 {
 		maxDepth = e.params.MaxDepth
 	}
+	// An optimized engine routes AutoMode (and KernelMode) through the
+	// cache-topology-aware float32 kernel; explicit MapMode/DenseMode
+	// requests keep the exact float64 paths for differential checks.
+	if e.layout != nil && (opts.Mode == AutoMode || opts.Mode == KernelMode) {
+		return e.exploreKernel(src, ts, maxDepth, opts)
+	}
 	// Deep explorations touch most of the graph: dense frontier arrays
 	// beat per-node map allocations there; shallow query-time lookups
-	// stay on maps.
-	useDense := opts.Mode == DenseMode || (opts.Mode == AutoMode && maxDepth > 3)
+	// stay on maps. KernelMode without a layout falls back to the nearest
+	// array-backed mode.
+	useDense := opts.Mode == DenseMode || opts.Mode == KernelMode ||
+		(opts.Mode == AutoMode && maxDepth > 3)
 	if useDense {
 		return e.exploreDense(src, ts, maxDepth, opts)
 	}
@@ -219,7 +227,6 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 			x.Cancelled = true
 			break
 		}
-		next := make(map[graph.NodeID]*delta, len(cur)*2)
 		// Expand frontier nodes in sorted order: per-target float sums
 		// must not depend on map iteration order.
 		curNodes = curNodes[:0]
@@ -227,6 +234,10 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 			curNodes = append(curNodes, w)
 		}
 		slices.Sort(curNodes)
+		// Size the next hop's map from the frontier's total out-degree
+		// (an exact bound, read off the CSR degree prefix sums) so it
+		// never rehashes mid-hop.
+		next := make(map[graph.NodeID]*delta, frontierOutBound(e.g, curNodes, e.g.NumNodes()))
 		for _, w := range curNodes {
 			dw := cur[w]
 			if opts.Stop != nil && w != src && opts.Stop(w) {

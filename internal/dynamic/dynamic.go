@@ -107,6 +107,19 @@ type Config struct {
 	// Instrument after NewManager, but also covers the initial
 	// preprocessing run.
 	Metrics *metrics.Registry
+	// OptimizeLayout, when set, relabels every frozen engine into the
+	// cache-topology-aware layout (LayoutOrder): the initial engine at
+	// NewManager and each compacted engine thereafter. Between
+	// compactions the derived overlay engines run unoptimized — an
+	// overlay invalidates the relabeling — so the kernel speedup
+	// applies to the long-lived frozen epochs where deep explorations
+	// run. Landmark preprocessing itself stays on the exact float64
+	// dense path regardless; the store is stamped with the layout
+	// generation (Stats.LayoutEpoch) it was computed under.
+	OptimizeLayout bool
+	// LayoutOrder picks the relabeling order when OptimizeLayout is
+	// set. The zero value is graph.DegreeOrder.
+	LayoutOrder graph.Order
 }
 
 // Stats counts the maintenance work done.
@@ -137,26 +150,35 @@ type Stats struct {
 	// compaction): the serving path hot-swaps to a new immutable epoch
 	// at each increment.
 	Epoch uint64
+	// Relayouts counts engine re-optimizations into the cache-aware
+	// layout (one at construction plus one per compaction, when
+	// Config.OptimizeLayout is set).
+	Relayouts int
+	// LayoutEpoch is the current layout generation: 0 while the engine
+	// runs the seed (unoptimized) node order, incremented every time an
+	// engine is relabeled. The landmark store carries the generation it
+	// was preprocessed under (landmark.Store.LayoutEpoch).
+	LayoutEpoch uint64
 }
 
 // Manager maintains a queryable recommendation state under updates.
 // Methods are safe for one writer OR many readers; Apply must not run
 // concurrently with queries.
 type Manager struct {
-	mu    sync.Mutex
-	cfg   Config
-	view  graph.View // current epoch: the bottom CSR or an overlay stack
+	mu   sync.Mutex
+	cfg  Config
+	view graph.View // current epoch: the bottom CSR or an overlay stack
 	// viewPub is the lock-free published copy of view. Views are
 	// immutable, so Graph() serves from an atomic pointer instead of
 	// taking mu — the serving path (response enrichment, cache hits,
 	// request validation) never stalls behind an in-progress Apply.
 	viewPub atomic.Pointer[viewBox]
-	auth  *authority.Table
-	eng   *core.Engine
-	store *landmark.Store
-	lms   []graph.NodeID
-	stale map[graph.NodeID]bool
-	stats Stats
+	auth    *authority.Table
+	eng     *core.Engine
+	store   *landmark.Store
+	lms     []graph.NodeID
+	stale   map[graph.NodeID]bool
+	stats   Stats
 	// pool recycles dense exploration buffers across landmark refreshes
 	// and exact queries. Updates never change the node count or the
 	// vocabulary, so one pool serves every engine generation.
@@ -182,6 +204,7 @@ type Manager struct {
 	mRefreshFails *metrics.Counter
 	mRefreshDefer *metrics.Counter
 	mCompactions  *metrics.Counter
+	mRelayouts    *metrics.Counter
 }
 
 // NewManager preprocesses the initial graph and landmark set.
@@ -214,9 +237,13 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
 	}
+	if err := m.optimizeLocked(); err != nil {
+		return nil, err
+	}
 	m.pool = core.NewScratchPoolFor(m.eng)
 	m.Instrument(cfg.Metrics)
 	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics, Pool: m.pool})
+	store.SetLayoutEpoch(m.stats.LayoutEpoch)
 	m.store = store
 	return m, nil
 }
@@ -225,12 +252,19 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 // counters are synchronized with the current Stats and kept up to date by
 // every Apply/refresh, and gauges for the stale-landmark count and
 // landmark-set size are registered as exposition-time callbacks. Nil is a
-// no-op; calling twice replaces the previous registry.
+// no-op; calling twice with a different registry replaces the previous
+// one, while re-attaching the registry already in place is a no-op — the
+// registry hands back the same counters, so re-adding the current Stats
+// to them would double every nonzero total.
 func (m *Manager) Instrument(reg *metrics.Registry) {
 	if reg == nil {
 		return
 	}
 	m.mu.Lock()
+	if m.reg == reg {
+		m.mu.Unlock()
+		return
+	}
 	st := m.stats
 	m.reg = reg
 	m.mBatches = reg.Counter("dynamic_batches_total", "Update batches applied to the graph.")
@@ -240,6 +274,7 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mRefreshFails = reg.Counter("dynamic_refresh_failures_total", "Failed landmark refresh runs (absorbed; landmarks stay stale).")
 	m.mRefreshDefer = reg.Counter("dynamic_refresh_deferred_total", "Refresh opportunities skipped while backing off after a failure.")
 	m.mCompactions = reg.Counter("dynamic_compactions_total", "Overlay stacks folded back into a fresh frozen graph.")
+	m.mRelayouts = reg.Counter("dynamic_relayouts_total", "Engine re-optimizations into the cache-aware node layout.")
 	m.mBatches.Add(uint64(st.Batches))
 	m.mEdgesAdded.Add(uint64(st.EdgesAdded))
 	m.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
@@ -247,6 +282,7 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mRefreshFails.Add(uint64(st.RefreshFailures))
 	m.mRefreshDefer.Add(uint64(st.RefreshDeferred))
 	m.mCompactions.Add(uint64(st.Compactions))
+	m.mRelayouts.Add(uint64(st.Relayouts))
 	nLms := len(m.lms)
 	m.mu.Unlock()
 	reg.GaugeFunc("dynamic_stale_landmarks",
@@ -261,6 +297,9 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("dynamic_overlay_delta_edges",
 		"Edge changes accumulated by the overlay stack since the last compaction.",
 		func() float64 { return float64(m.Stats().OverlayDelta) })
+	reg.GaugeFunc("dynamic_layout_epoch",
+		"Current cache-aware layout generation (0 = seed node order).",
+		func() float64 { return float64(m.Stats().LayoutEpoch) })
 }
 
 // rebuildEngine recomputes the authority table and engine from scratch
@@ -272,6 +311,28 @@ func (m *Manager) rebuildEngine() error {
 		return err
 	}
 	m.eng = eng
+	return nil
+}
+
+// optimizeLocked relabels the current engine into the cache-aware layout
+// when configured, bumping the layout generation. Only called on frozen
+// (overlay-free) epochs: at construction and right after a compaction —
+// Derive deliberately drops any layout because an overlay invalidates
+// the relabeling. Caller holds mu (or is still constructing).
+func (m *Manager) optimizeLocked() error {
+	if !m.cfg.OptimizeLayout {
+		return nil
+	}
+	eng, err := m.eng.Optimized(m.cfg.LayoutOrder)
+	if err != nil {
+		return fmt.Errorf("dynamic: optimizing layout: %w", err)
+	}
+	m.eng = eng
+	m.stats.Relayouts++
+	m.stats.LayoutEpoch++
+	if m.mRelayouts != nil {
+		m.mRelayouts.Inc()
+	}
 	return nil
 }
 
@@ -394,6 +455,12 @@ func (m *Manager) Apply(batch []Update) error {
 		m.stats.Epoch++
 		if m.mCompactions != nil {
 			m.mCompactions.Inc()
+		}
+		// The compacted view is a frozen CSR again: re-optimize the
+		// engine layout (Derive dropped the previous one with the first
+		// overlay of this cycle).
+		if err := m.optimizeLocked(); err != nil {
+			return err
 		}
 	}
 	m.stats.Batches++
@@ -530,6 +597,10 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 			m.mRefreshes.Inc()
 		}
 	}
+	// The refreshed lists were computed under the current layout
+	// generation; restamp the store (list contents are exact float64 and
+	// layout-independent, the epoch records provenance).
+	m.store.SetLayoutEpoch(m.stats.LayoutEpoch)
 	return nil
 }
 

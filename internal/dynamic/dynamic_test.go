@@ -9,6 +9,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
 	"repro/internal/topics"
 )
 
@@ -379,5 +381,162 @@ func TestRefreshBackoffAbsorbsFailures(t *testing.T) {
 	}
 	if st.StaleNow != 0 {
 		t.Fatalf("%d landmarks still stale after a successful refresh", st.StaleNow)
+	}
+}
+
+// TestOptimizeLayoutLifecycle walks the cache-aware layout through the
+// manager's epochs: optimized at construction, dropped while overlays
+// are live (a relabeling is only valid over a frozen CSR), re-optimized
+// by the compaction that freezes the next CSR, with the layout epoch and
+// relayout counters tracking each generation and the landmark store
+// stamped with the generation it was preprocessed under.
+func TestOptimizeLayoutLifecycle(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 11)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 4, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params:         core.DefaultParams(),
+		Sim:            ds.Sim,
+		StoreTopN:      50,
+		QueryDepth:     2,
+		Strategy:       Lazy,
+		CompactDepth:   2,
+		OptimizeLayout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.eng.HasOptimizedLayout() {
+		t.Fatal("initial engine not optimized")
+	}
+	st := m.Stats()
+	if st.Relayouts != 1 || st.LayoutEpoch != 1 {
+		t.Fatalf("after construction: relayouts=%d layoutEpoch=%d, want 1/1", st.Relayouts, st.LayoutEpoch)
+	}
+	if m.store.LayoutEpoch() != 1 {
+		t.Fatalf("store layout epoch = %d, want 1", m.store.LayoutEpoch())
+	}
+
+	// One overlay batch (below CompactDepth): Derive must drop the layout
+	// and the generation must not advance.
+	up := func(i int) []Update {
+		return []Update{{Edge: graph.Edge{Src: graph.NodeID(i), Dst: graph.NodeID((i + 31) % 60), Label: topics.NewSet(1)}, Add: true}}
+	}
+	if err := m.Apply(up(0)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Compactions != 0 {
+		t.Fatal("test premise broken: first batch already compacted")
+	}
+	if m.eng.HasOptimizedLayout() {
+		t.Fatal("overlay engine kept a stale layout")
+	}
+	if st := m.Stats(); st.Relayouts != 1 || st.LayoutEpoch != 1 {
+		t.Fatalf("overlay batch advanced the layout: %+v", st)
+	}
+
+	// Second batch crosses CompactDepth: compaction freezes a new CSR and
+	// re-optimizes into generation 2.
+	if err := m.Apply(up(1)); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", st.Compactions)
+	}
+	if !m.eng.HasOptimizedLayout() {
+		t.Fatal("compacted engine not re-optimized")
+	}
+	if st.Relayouts != 2 || st.LayoutEpoch != 2 {
+		t.Fatalf("after compaction: relayouts=%d layoutEpoch=%d, want 2/2", st.Relayouts, st.LayoutEpoch)
+	}
+
+	// A refresh under the new generation restamps the store.
+	if err := m.refreshLocked(m.store.Landmarks()); err != nil {
+		t.Fatal(err)
+	}
+	if m.store.LayoutEpoch() != 2 {
+		t.Fatalf("refreshed store layout epoch = %d, want 2", m.store.LayoutEpoch())
+	}
+}
+
+// TestOptimizeLayoutRankingAgreement: the optimized manager's answers
+// must rank like an unoptimized manager's over the same graph — the
+// float32 kernel preserves ordering (Kendall distance ≤ 1e-3), and the
+// exact landmark lists are layout-independent.
+func TestOptimizeLayoutRankingAgreement(t *testing.T) {
+	ds := gen.RandomWith(60, 600, 12)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 4, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Params:     core.DefaultParams(),
+		Sim:        ds.Sim,
+		StoreTopN:  50,
+		QueryDepth: 2,
+		Strategy:   Lazy,
+	}
+	plain, err := NewManager(ds.Graph, lms, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCfg := base
+	optCfg.OptimizeLayout = true
+	optCfg.LayoutOrder = graph.BFSOrder
+	opt, err := NewManager(ds.Graph, lms, optCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.NodeID(0); u < 60; u += 7 {
+		a := plain.RecommendExact(u, 3, 10)
+		b := opt.RecommendExact(u, 3, 10)
+		if d := ranking.KendallTopK(a, b); d > 1e-3 {
+			t.Fatalf("user %d: exact rankings diverge, Kendall distance %g", u, d)
+		}
+		ap, err := plain.Recommend(u, 3, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := opt.Recommend(u, 3, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := ranking.KendallTopK(ap, bp); d > 1e-3 {
+			t.Fatalf("user %d: approximate rankings diverge, Kendall distance %g", u, d)
+		}
+	}
+}
+
+// TestInstrumentSameRegistryTwiceIsIdempotent: trserver passes one
+// registry via Config.Metrics and server.New re-instruments the manager
+// with the same registry; the second call must not re-add the current
+// Stats to counters that already carry them (visible as
+// dynamic_relayouts_total = 2 after a single construction-time
+// relayout).
+func TestInstrumentSameRegistryTwiceIsIdempotent(t *testing.T) {
+	ds := gen.RandomWith(40, 300, 13)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 3, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	m, err := NewManager(ds.Graph, lms, Config{
+		Params:         core.DefaultParams(),
+		Sim:            ds.Sim,
+		StoreTopN:      20,
+		QueryDepth:     2,
+		Strategy:       Lazy,
+		Metrics:        reg,
+		OptimizeLayout: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Instrument(reg) // what server.New does with the shared registry
+	if got := reg.Counter("dynamic_relayouts_total", "").Value(); got != 1 {
+		t.Fatalf("dynamic_relayouts_total = %d after re-instrumenting the same registry, want 1", got)
 	}
 }

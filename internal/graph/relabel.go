@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topics"
+)
+
+// Cache-topology-aware relabeling. Node ids of a generated or loaded graph
+// are in creation order, which has no relation to traversal order: frontier
+// expansion strides randomly through the CSR and through every per-node
+// score array. A Permutation re-numbers the nodes so that the nodes a
+// traversal touches together sit together in memory — hubs first
+// (DegreeOrder) or in breadth-first discovery order from the biggest hub
+// (BFSOrder) — and Relabel materializes the graph in that layout.
+//
+// The permutation is an internal layout concern only: every API-visible
+// NodeID (server, eval, CLIs, landmark stores) stays in the original
+// numbering, and the optimized exploration kernel translates at its
+// boundary (see internal/core). Proposition 2's scores are invariant under
+// node relabeling — the graph is the same graph — so the only observable
+// effect of exploring a relabeled CSR is floating-point accumulation
+// order, which the differential tests in internal/core bound.
+
+// Order selects a relabeling strategy.
+type Order int
+
+const (
+	// DegreeOrder numbers nodes by decreasing total degree (in + out),
+	// ties by original id. Frontier expansions concentrate on hubs, so
+	// packing hubs into the low ids keeps the hot rows of the CSR and of
+	// the score arrays inside a few cache-resident tiles.
+	DegreeOrder Order = iota
+	// BFSOrder numbers nodes in breadth-first discovery order along out
+	// edges, seeding each component at its highest-degree unvisited node.
+	// Nodes reached on the same hop get adjacent ids, so one hop's
+	// frontier is (approximately) one contiguous id range.
+	BFSOrder
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case DegreeOrder:
+		return "degree"
+	case BFSOrder:
+		return "bfs"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Permutation is a bijective relabeling of the n node ids. It maps
+// "external" ids (the original, API-visible numbering) to "internal" ids
+// (the cache-ordered numbering) and back.
+type Permutation struct {
+	fwd []NodeID // external -> internal
+	inv []NodeID // internal -> external
+}
+
+// IdentityPermutation returns the identity relabeling of n nodes.
+func IdentityPermutation(n int) Permutation {
+	fwd := make([]NodeID, n)
+	for i := range fwd {
+		fwd[i] = NodeID(i)
+	}
+	return Permutation{fwd: fwd, inv: fwd}
+}
+
+// PermutationFromForward builds a Permutation from an external→internal
+// map, validating that it is a bijection on [0, len(fwd)).
+func PermutationFromForward(fwd []NodeID) (Permutation, error) {
+	n := len(fwd)
+	inv := make([]NodeID, n)
+	seen := make([]bool, n)
+	for ext, in := range fwd {
+		if int(in) >= n {
+			return Permutation{}, fmt.Errorf("graph: permutation maps %d to %d, beyond %d nodes", ext, in, n)
+		}
+		if seen[in] {
+			return Permutation{}, fmt.Errorf("graph: permutation maps two nodes to %d", in)
+		}
+		seen[in] = true
+		inv[in] = NodeID(ext)
+	}
+	return Permutation{fwd: append([]NodeID(nil), fwd...), inv: inv}, nil
+}
+
+// Len returns the number of nodes the permutation covers.
+func (p Permutation) Len() int { return len(p.fwd) }
+
+// Apply maps an external id to its internal (cache-ordered) id.
+func (p Permutation) Apply(u NodeID) NodeID { return p.fwd[u] }
+
+// Back maps an internal id back to its external id.
+func (p Permutation) Back(u NodeID) NodeID { return p.inv[u] }
+
+// Inverse returns the permutation swapping the two directions.
+func (p Permutation) Inverse() Permutation { return Permutation{fwd: p.inv, inv: p.fwd} }
+
+// IsIdentity reports whether the permutation maps every id to itself.
+func (p Permutation) IsIdentity() bool {
+	for i, v := range p.fwd {
+		if NodeID(i) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPermutation computes the relabeling of v's nodes under the given
+// order. The result is deterministic for a given view.
+func NewPermutation(order Order, v View) Permutation {
+	n := v.NumNodes()
+	switch order {
+	case BFSOrder:
+		return bfsPermutation(v)
+	default:
+		return degreePermutation(v, n)
+	}
+}
+
+// degreePermutation numbers nodes by decreasing total degree.
+func degreePermutation(v View, n int) Permutation {
+	byDeg := make([]NodeID, n)
+	for i := range byDeg {
+		byDeg[i] = NodeID(i)
+	}
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = v.OutDegree(NodeID(i)) + v.InDegree(NodeID(i))
+	}
+	sort.SliceStable(byDeg, func(a, b int) bool {
+		da, db := deg[byDeg[a]], deg[byDeg[b]]
+		if da != db {
+			return da > db
+		}
+		return byDeg[a] < byDeg[b]
+	})
+	fwd := make([]NodeID, n)
+	for in, ext := range byDeg {
+		fwd[ext] = NodeID(in)
+	}
+	return Permutation{fwd: fwd, inv: byDeg}
+}
+
+// bfsPermutation numbers nodes in BFS discovery order along out edges,
+// seeding components at their highest-degree unvisited node (in decreasing
+// degree order, so the biggest hub's component is laid out first).
+func bfsPermutation(v View) Permutation {
+	n := v.NumNodes()
+	seeds := degreePermutation(v, n).inv // nodes in decreasing degree order
+	inv := make([]NodeID, 0, n)
+	visited := make([]bool, n)
+	queue := make([]NodeID, 0, n)
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inv = append(inv, u)
+			dsts, _ := v.Out(u)
+			for _, d := range dsts {
+				if !visited[d] {
+					visited[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+	}
+	fwd := make([]NodeID, n)
+	for in, ext := range inv {
+		fwd[ext] = NodeID(in)
+	}
+	return Permutation{fwd: fwd, inv: inv}
+}
+
+// Relabel materializes v as a frozen CSR in the permutation's internal
+// numbering: internal node i carries external node Back(i)'s topics, and
+// every edge (u, v, lbl) becomes (Apply(u), Apply(v), lbl). Adjacency rows
+// stay sorted ascending (by internal id) and labels follow their edges, so
+// the result satisfies the View contract in the internal numbering.
+// Relabeling with p and then with p.Inverse() reproduces the original
+// graph bit for bit.
+func Relabel(v View, p Permutation) (*Graph, error) {
+	n := v.NumNodes()
+	if p.Len() != n {
+		return nil, fmt.Errorf("graph: permutation covers %d nodes, view has %d", p.Len(), n)
+	}
+	m := v.NumEdges()
+	out := &Graph{
+		vocab:      v.Vocabulary(),
+		nodeTopics: make([]topics.Set, n),
+		outStart:   make([]uint32, n+1),
+		outDst:     make([]NodeID, m),
+		outLbl:     make([]topics.Set, m),
+		inStart:    make([]uint32, n+1),
+		inSrc:      make([]NodeID, m),
+		inLbl:      make([]topics.Set, m),
+	}
+
+	// Out-adjacency: walk internal ids in order so rows are emitted
+	// sequentially; each row's destinations are re-sorted under the new
+	// numbering (labels travel with their edge).
+	pos := 0
+	type dstLbl struct {
+		dst NodeID
+		lbl topics.Set
+	}
+	var row []dstLbl
+	for in := 0; in < n; in++ {
+		ext := p.Back(NodeID(in))
+		out.nodeTopics[in] = v.NodeTopics(ext)
+		dsts, lbls := v.Out(ext)
+		row = row[:0]
+		for i, d := range dsts {
+			row = append(row, dstLbl{dst: p.Apply(d), lbl: lbls[i]})
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a].dst < row[b].dst })
+		for _, e := range row {
+			out.outDst[pos] = e.dst
+			out.outLbl[pos] = e.lbl
+			pos++
+		}
+		out.outStart[in+1] = uint32(pos)
+	}
+
+	// In-adjacency: same walk against In rows.
+	pos = 0
+	for in := 0; in < n; in++ {
+		ext := p.Back(NodeID(in))
+		srcs, lbls := v.In(ext)
+		row = row[:0]
+		for i, s := range srcs {
+			row = append(row, dstLbl{dst: p.Apply(s), lbl: lbls[i]})
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a].dst < row[b].dst })
+		for _, e := range row {
+			out.inSrc[pos] = e.dst
+			out.inLbl[pos] = e.lbl
+			pos++
+		}
+		out.inStart[in+1] = uint32(pos)
+	}
+	return out, nil
+}
+
+// RelabelEdges maps a batch of external-id edges into the permutation's
+// internal numbering (labels unchanged). Used to replay overlay deltas
+// onto a relabeled base.
+func (p Permutation) RelabelEdges(edges []Edge) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{Src: p.Apply(e.Src), Dst: p.Apply(e.Dst), Label: e.Label}
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"repro/internal/topics"
+)
+
+// randomRelabelGraph builds a deterministic random labeled graph without
+// depending on internal/gen (which would import-cycle through this
+// package).
+func randomRelabelGraph(tb testing.TB, n, m int, seed uint64) *Graph {
+	tb.Helper()
+	vocab := topics.MustVocabulary([]string{"a", "b", "c", "d"})
+	r := rand.New(rand.NewPCG(seed, 0x52454c41))
+	b := NewBuilder(vocab, n)
+	for u := 0; u < n; u++ {
+		b.SetNodeTopics(NodeID(u), topics.NewSet(topics.ID(r.IntN(4))))
+	}
+	for i := 0; i < m; i++ {
+		u, v := NodeID(r.IntN(n)), NodeID(r.IntN(n))
+		b.AddEdge(u, v, topics.NewSet(topics.ID(r.IntN(4)), topics.ID(r.IntN(4))))
+	}
+	return b.MustFreeze()
+}
+
+// randomPermutation draws a uniform permutation of n ids.
+func randomPermutation(n int, seed uint64) Permutation {
+	r := rand.New(rand.NewPCG(seed, 0x5045524d))
+	fwd := make([]NodeID, n)
+	for i := range fwd {
+		fwd[i] = NodeID(i)
+	}
+	r.Shuffle(n, func(i, j int) { fwd[i], fwd[j] = fwd[j], fwd[i] })
+	p, err := PermutationFromForward(fwd)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// requireSameGraph asserts two views are observationally identical: same
+// node topics, same adjacency rows (both directions), same labels.
+func requireSameGraph(tb testing.TB, got, want View) {
+	tb.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		tb.Fatalf("size: got %d/%d, want %d/%d", got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for u := 0; u < want.NumNodes(); u++ {
+		id := NodeID(u)
+		if got.NodeTopics(id) != want.NodeTopics(id) {
+			tb.Fatalf("node %d: topics %v, want %v", u, got.NodeTopics(id), want.NodeTopics(id))
+		}
+		gd, gl := got.Out(id)
+		wd, wl := want.Out(id)
+		if len(gd) != len(wd) {
+			tb.Fatalf("node %d: out degree %d, want %d", u, len(gd), len(wd))
+		}
+		for i := range wd {
+			if gd[i] != wd[i] || gl[i] != wl[i] {
+				tb.Fatalf("node %d out[%d]: (%d,%v), want (%d,%v)", u, i, gd[i], gl[i], wd[i], wl[i])
+			}
+		}
+		gs, gsl := got.In(id)
+		ws, wsl := want.In(id)
+		if len(gs) != len(ws) {
+			tb.Fatalf("node %d: in degree %d, want %d", u, len(gs), len(ws))
+		}
+		for i := range ws {
+			if gs[i] != ws[i] || gsl[i] != wsl[i] {
+				tb.Fatalf("node %d in[%d]: (%d,%v), want (%d,%v)", u, i, gs[i], gsl[i], ws[i], wsl[i])
+			}
+		}
+	}
+}
+
+// visitSet collects the nodes a BFS visits, as a sorted slice.
+func visitSet(g View, src NodeID, depth int, out bool) []NodeID {
+	var nodes []NodeID
+	visit := func(v NodeID, _ int) bool { nodes = append(nodes, v); return true }
+	if out {
+		BFSOut(g, src, depth, visit)
+	} else {
+		BFSIn(g, src, depth, visit)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// mapVisits translates a visit set through a permutation and re-sorts.
+func mapVisits(nodes []NodeID, f func(NodeID) NodeID) []NodeID {
+	out := make([]NodeID, len(nodes))
+	for i, v := range nodes {
+		out[i] = f(v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzRelabelEquivalence drives random graphs through random permutations
+// and asserts the relabeling is lossless: relabel + relabel-with-inverse
+// reproduces the original CSR bit for bit, the serialized form of the
+// relabeled graph round-trips, and BFS visit sets (both directions) are
+// identical modulo the id mapping.
+func FuzzRelabelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(12), uint16(40), uint8(2))
+	f.Add(uint64(7), uint16(1), uint16(0), uint8(1))
+	f.Add(uint64(42), uint16(50), uint16(300), uint8(3))
+	f.Add(uint64(99), uint16(5), uint16(4), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint16, depth uint8) {
+		n := int(nRaw%64) + 1
+		m := int(mRaw % 512)
+		g := randomRelabelGraph(t, n, m, seed)
+		p := randomPermutation(n, seed^0xbeef)
+
+		rg, err := Relabel(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Relabel(rg, p.Inverse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, back, g)
+
+		// Serialized relabeled graph must reload identically.
+		var buf bytes.Buffer
+		if _, err := rg.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rg2, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("relabeled graph does not round-trip: %v", err)
+		}
+		requireSameGraph(t, rg2, rg)
+
+		// BFS visit sets are invariant under relabeling.
+		d := int(depth%5) + 1
+		for ext := 0; ext < n; ext += 1 + n/8 {
+			src := NodeID(ext)
+			for _, outDir := range []bool{true, false} {
+				orig := visitSet(g, src, d, outDir)
+				rel := mapVisits(visitSet(rg, p.Apply(src), d, outDir), p.Back)
+				if !sameIDs(orig, rel) {
+					t.Fatalf("src %d out=%v: visit sets differ: %v vs %v", ext, outDir, orig, rel)
+				}
+			}
+		}
+	})
+}
+
+// TestPermutationValidation rejects non-bijections.
+func TestPermutationValidation(t *testing.T) {
+	if _, err := PermutationFromForward([]NodeID{0, 0}); err == nil {
+		t.Error("duplicate image accepted")
+	}
+	if _, err := PermutationFromForward([]NodeID{0, 5}); err == nil {
+		t.Error("out-of-range image accepted")
+	}
+	p, err := PermutationFromForward([]NodeID{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if p.Back(p.Apply(NodeID(i))) != NodeID(i) {
+			t.Errorf("Back(Apply(%d)) != %d", i, i)
+		}
+	}
+	if p.IsIdentity() {
+		t.Error("non-identity reported as identity")
+	}
+	if !IdentityPermutation(4).IsIdentity() {
+		t.Error("identity not reported as identity")
+	}
+}
+
+// TestPermutationSerializeRoundTrip covers the TRP1 format.
+func TestPermutationSerializeRoundTrip(t *testing.T) {
+	p := randomPermutation(37, 5)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadPermutation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != p.Len() {
+		t.Fatalf("length %d, want %d", q.Len(), p.Len())
+	}
+	for i := 0; i < p.Len(); i++ {
+		if q.Apply(NodeID(i)) != p.Apply(NodeID(i)) {
+			t.Fatalf("entry %d: %d, want %d", i, q.Apply(NodeID(i)), p.Apply(NodeID(i)))
+		}
+	}
+	// Corrupt stream: truncate after the header.
+	var short bytes.Buffer
+	p.WriteTo(&short) //nolint:errcheck // bytes.Buffer cannot fail
+	if _, err := ReadPermutation(bytes.NewReader(short.Bytes()[:10])); err == nil {
+		t.Error("truncated permutation accepted")
+	}
+}
+
+// TestRelabelEdgeCases covers the degenerate topologies the kernel must
+// survive: edgeless graphs, a single node, a max-degree star hub, and
+// disconnected components.
+func TestRelabelEdgeCases(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"x", "y"})
+	star := func(n int) *Graph {
+		b := NewBuilder(vocab, n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(0, NodeID(i), topics.NewSet(0))
+			b.AddEdge(NodeID(i), 0, topics.NewSet(1))
+		}
+		return b.MustFreeze()
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"single-node", NewBuilder(vocab, 1).MustFreeze()},
+		{"edgeless", NewBuilder(vocab, 8).MustFreeze()},
+		{"star-hub", star(16)},
+		{"two-components", func() *Graph {
+			b := NewBuilder(vocab, 6)
+			b.AddEdge(0, 1, topics.NewSet(0))
+			b.AddEdge(1, 2, topics.NewSet(0))
+			b.AddEdge(3, 4, topics.NewSet(1))
+			b.AddEdge(4, 5, topics.NewSet(1))
+			return b.MustFreeze()
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, order := range []Order{DegreeOrder, BFSOrder} {
+				p := NewPermutation(order, tc.g)
+				if p.Len() != tc.g.NumNodes() {
+					t.Fatalf("%v: permutation covers %d of %d nodes", order, p.Len(), tc.g.NumNodes())
+				}
+				rg, err := Relabel(tc.g, p)
+				if err != nil {
+					t.Fatalf("%v: %v", order, err)
+				}
+				back, err := Relabel(rg, p.Inverse())
+				if err != nil {
+					t.Fatalf("%v: %v", order, err)
+				}
+				requireSameGraph(t, back, tc.g)
+			}
+		})
+	}
+}
+
+// TestDegreeOrderPacksHubs: the star hub must get internal id 0 under
+// DegreeOrder and be the BFS seed under BFSOrder.
+func TestDegreeOrderPacksHubs(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"x"})
+	b := NewBuilder(vocab, 10)
+	for i := 1; i < 10; i++ {
+		b.AddEdge(NodeID(i), 7, topics.NewSet(0)) // node 7 is the hub
+	}
+	b.AddEdge(7, 1, topics.NewSet(0))
+	g := b.MustFreeze()
+	for _, order := range []Order{DegreeOrder, BFSOrder} {
+		p := NewPermutation(order, g)
+		if got := p.Apply(7); got != 0 {
+			t.Errorf("%v: hub mapped to internal id %d, want 0", order, got)
+		}
+	}
+}
+
+// TestOverlayOnRelabeledView is the PR-3 invariant guard: applying an edge
+// batch through an Overlay over a relabeled base must be observationally
+// identical (after undoing the permutation) to applying the same batch
+// over the original base.
+func TestOverlayOnRelabeledView(t *testing.T) {
+	g := randomRelabelGraph(t, 30, 160, 17)
+	r := rand.New(rand.NewPCG(3, 14))
+	var adds, removes []Edge
+	existing := g.Edges()
+	for i := 0; i < 20; i++ {
+		u, v := NodeID(r.IntN(30)), NodeID(r.IntN(30))
+		if u != v {
+			adds = append(adds, Edge{Src: u, Dst: v, Label: topics.NewSet(topics.ID(r.IntN(4)))})
+		}
+		removes = append(removes, existing[r.IntN(len(existing))])
+	}
+
+	for _, order := range []Order{DegreeOrder, BFSOrder} {
+		p := NewPermutation(order, g)
+		rg, err := Relabel(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		plain, err := NewOverlay(g, adds, removes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := NewOverlay(rg, p.RelabelEdges(adds), p.RelabelEdges(removes))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Undo the permutation on the overlaid view and compare against the
+		// plain overlay — including after compaction to a fresh CSR.
+		unlabeled, err := Relabel(perm, p.Inverse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, unlabeled, plain)
+
+		compacted, err := Relabel(perm.Compact(), p.Inverse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameGraph(t, compacted, plain.Compact())
+	}
+}
+
+// TestFreezeOrdered: the builder's one-shot relabeled freeze must agree
+// with freezing then relabeling.
+func TestFreezeOrdered(t *testing.T) {
+	g := randomRelabelGraph(t, 20, 90, 23)
+	b := NewBuilder(g.Vocabulary(), g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		b.SetNodeTopics(NodeID(u), g.NodeTopics(NodeID(u)))
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	ext, internal, p, err := b.FreezeOrdered(DegreeOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, ext, g)
+	want, err := Relabel(g, NewPermutation(DegreeOrder, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, internal, want)
+	back, err := Relabel(internal, p.Inverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameGraph(t, back, ext)
+}

@@ -12,14 +12,21 @@ import (
 
 // Binary store format (little-endian):
 //
-//	magic  uint32 = 0x4c4d4b31 ("LMK1")
+//	magic  uint32 = 0x4c4d4b32 ("LMK2")
 //	vocabLen, topN, numLandmarks  uint32
+//	layoutEpoch  uint64            (LMK2 only; LMK1 streams imply 0)
 //	per landmark:
 //	    id, iterations  uint32
 //	    vocabLen topical lists, then the topo list, each:
 //	        length uint32, then length × (node uint32, sigma float64, topo float64)
+//
+// ReadStore still accepts the older LMK1 magic (0x4c4d4b31), whose
+// header lacks the layout epoch; such stores load with epoch 0.
 
-const storeMagic = 0x4c4d4b31
+const (
+	storeMagicV1 = 0x4c4d4b31
+	storeMagic   = 0x4c4d4b32
+)
 
 // WriteTo serializes the store.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
@@ -32,6 +39,9 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 		if err := put32(v); err != nil {
 			return cw.n, err
 		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, s.layoutEpoch); err != nil {
+		return cw.n, err
 	}
 	writeList := func(l *List) error {
 		if err := put32(uint32(l.Len())); err != nil {
@@ -88,7 +98,7 @@ func ReadStore(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("landmark: reading magic: %w", err)
 	}
-	if magic != storeMagic {
+	if magic != storeMagic && magic != storeMagicV1 {
 		return nil, fmt.Errorf("landmark: bad magic %#x", magic)
 	}
 	vocabLen, err := get32()
@@ -103,10 +113,17 @@ func ReadStore(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	var layoutEpoch uint64
+	if magic == storeMagic {
+		if err := binary.Read(br, binary.LittleEndian, &layoutEpoch); err != nil {
+			return nil, fmt.Errorf("landmark: reading layout epoch: %w", err)
+		}
+	}
 	if vocabLen == 0 || vocabLen > 1024 {
 		return nil, fmt.Errorf("landmark: implausible vocabulary size %d", vocabLen)
 	}
 	s := NewStore(int(vocabLen), int(topN))
+	s.layoutEpoch = layoutEpoch
 	readList := func() (List, error) {
 		var l List
 		ln, err := get32()

@@ -15,6 +15,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	store, _ := Preprocess(eng, lms, PreprocessConfig{TopN: 20})
+	store.SetLayoutEpoch(42)
 
 	var buf bytes.Buffer
 	n, err := store.WriteTo(&buf)
@@ -31,6 +32,9 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 	if got.Len() != store.Len() || got.VocabLen() != store.VocabLen() || got.TopN() != store.TopN() {
 		t.Fatalf("store shape mismatch after round trip")
+	}
+	if got.LayoutEpoch() != 42 {
+		t.Fatalf("layout epoch lost: got %d, want 42", got.LayoutEpoch())
 	}
 	for _, l := range store.Landmarks() {
 		a, b := store.Get(l), got.Get(l)
@@ -54,6 +58,26 @@ func TestStoreRoundTrip(t *testing.T) {
 		if a.TopoTop.Len() != b.TopoTop.Len() {
 			t.Error("topo list length differs")
 		}
+	}
+}
+
+// TestReadStoreAcceptsLMK1 verifies that stores written before the
+// layout-epoch header field (magic "LMK1") still load, with epoch 0.
+func TestReadStoreAcceptsLMK1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x31, 0x4b, 0x4d, 0x4c}) // LMK1 magic, little-endian
+	buf.Write([]byte{2, 0, 0, 0})             // vocabLen = 2
+	buf.Write([]byte{5, 0, 0, 0})             // topN = 5
+	buf.Write([]byte{0, 0, 0, 0})             // numLandmarks = 0
+	s, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VocabLen() != 2 || s.TopN() != 5 || s.Len() != 0 {
+		t.Fatalf("LMK1 header misread: vocab %d topN %d len %d", s.VocabLen(), s.TopN(), s.Len())
+	}
+	if s.LayoutEpoch() != 0 {
+		t.Fatalf("LMK1 store must imply layout epoch 0, got %d", s.LayoutEpoch())
 	}
 }
 
