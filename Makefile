@@ -7,6 +7,7 @@ all: check
 
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/trshard
 
 test:
 	$(GO) test ./...
@@ -19,7 +20,7 @@ test:
 # permutation boundary and the float32 kernel are race-checked on every
 # check too; a full -race run over the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/...
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/...
 
 .PHONY: race-all
 race-all:
@@ -64,6 +65,17 @@ bench:
 .PHONY: bench-serve
 bench-serve:
 	$(GO) run ./cmd/trbench -exp bench-serve -bench-out BENCH_serve.json
+
+# bench-shard measures the sharded scatter/gather tier at 1/2/4
+# partition workers and rewrites BENCH_shard.json: modeled deployment
+# throughput from per-shard service times (gate: >= 2.5x at 4 shards)
+# plus shed/degraded/5xx behaviour of the real HTTP stack at 16x. The
+# flags pin the deployment the gate was tuned on: enough landmarks that
+# the per-query fold mass (which partitions with the shard count)
+# dominates the replicated exploration.
+.PHONY: bench-shard
+bench-shard:
+	$(GO) run ./cmd/trbench -exp bench-shard -tw-nodes 16000 -landmarks 240 -store-topn 4000 -bench-out BENCH_shard.json
 
 # bench-kernel compares the seed dense exploration against the
 # cache-topology-aware float32 kernel under both relabeling orders and

@@ -41,6 +41,9 @@ func main() {
 		admission = server.DefaultAdmissionConfig()
 		degradeB  = flag.Duration("degrade-budget", server.DefaultDegradeBudget, "remaining-deadline floor below which exact-Tr queries degrade to the landmark approximation (0 disables)")
 		optLayout = flag.Bool("optimize-layout", false, "relabel frozen engines into the cache-aware degree order (float32 exploration kernel; re-optimized at each compaction)")
+		shards    = flag.String("shards", "", "scatter/gather router mode: comma-separated shard endpoint groups, replicas |-separated within a group (host:port|replica,host:port,...)")
+		shardTmo  = flag.Duration("shard-timeout", server.DefaultShardTimeout, "per-shard partial fetch deadline in router mode")
+		shardHdg  = flag.Duration("shard-hedge", 0, "delay before a hedged retry fires against a shard replica (0 disables hedging)")
 	)
 	flag.IntVar(&admission.MaxInflight, "max-inflight", admission.MaxInflight, "concurrent recommendation computations (0 disables admission control)")
 	flag.IntVar(&admission.MaxQueue, "max-queue", admission.MaxQueue, "computations that may queue for a slot before requests are shed with 429")
@@ -106,9 +109,19 @@ func main() {
 	}
 	log.Printf("ready in %s", time.Since(start).Round(time.Millisecond))
 
-	srv := server.New(mgr, core.DefaultParams().Beta,
+	srvOpts := []server.Option{
 		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo),
-		server.WithAdmission(admission), server.WithDegradeBudget(*degradeB))
+		server.WithAdmission(admission), server.WithDegradeBudget(*degradeB),
+	}
+	if *shards != "" {
+		groups, err := server.ParseShardFlag(*shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvOpts = append(srvOpts, server.WithShardRouter(server.NewShardRouter(groups, *shardTmo, *shardHdg)))
+		log.Printf("router mode: scatter/gather over %d shards", len(groups))
+	}
+	srv := server.New(mgr, core.DefaultParams().Beta, srvOpts...)
 	fmt.Printf("serving on %s (try /v1/health, /v1/topics, /v1/stats, /v1/metrics, /v1/recommend?user=42&topic=technology)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

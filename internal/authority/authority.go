@@ -29,7 +29,14 @@ type Table struct {
 	vocab  *topics.Vocabulary
 	n      int
 	scores []float64 // n × T, row-major by node
-	maxFol []uint32  // per topic: max_v |Γv(t)|
+	// cols mirrors scores column-major (T × n, one contiguous column per
+	// topic). Query-time exploration reads auth(v, t) for one fixed t
+	// across many random nodes, so the per-topic column is the
+	// cache-friendly access path — a single topic's column is a fraction
+	// of the full table and stays resident across an exploration. Kept in
+	// sync by Recompute and ApplyDelta.
+	cols   []float64
+	maxFol []uint32 // per topic: max_v |Γv(t)|
 	// all is Recompute's n × T follower-count scratch, kept across calls:
 	// periodic full recomputes under dynamic batches dominated allocation
 	// before it was reused.
@@ -78,6 +85,9 @@ func (t *Table) Recompute(g graph.View) {
 	for i, m := range t.maxFol {
 		logMax[i] = math.Log(1 + float64(m))
 	}
+	if len(t.cols) != t.n*T {
+		t.cols = make([]float64, t.n*T)
+	}
 	for u := 0; u < t.n; u++ {
 		total := float64(g.InDegree(graph.NodeID(u)))
 		row := t.scores[u*T : (u+1)*T]
@@ -85,11 +95,12 @@ func (t *Table) Recompute(g graph.View) {
 			c := float64(all[u*T+i])
 			if c == 0 || total == 0 || logMax[i] == 0 {
 				row[i] = 0
-				continue
+			} else {
+				local := c / total
+				global := math.Log(1+c) / logMax[i]
+				row[i] = local * global
 			}
-			local := c / total
-			global := math.Log(1+c) / logMax[i]
-			row[i] = local * global
+			t.cols[i*t.n+u] = row[i]
 		}
 	}
 }
@@ -141,9 +152,10 @@ func (t *Table) ApplyDelta(g graph.View, dsts []graph.NodeID) {
 			logMax := math.Log(1 + float64(t.maxFol[i]))
 			if c == 0 || total == 0 || logMax == 0 {
 				row[i] = 0
-				continue
+			} else {
+				row[i] = (c / total) * (math.Log(1+c) / logMax)
 			}
-			row[i] = (c / total) * (math.Log(1+c) / logMax)
+			t.cols[i*t.n+int(dst)] = row[i]
 		}
 	}
 }
@@ -158,6 +170,13 @@ func (t *Table) Score(u graph.NodeID, topic topics.ID) float64 {
 func (t *Table) Row(u graph.NodeID) []float64 {
 	T := t.vocab.Len()
 	return t.scores[int(u)*T : (int(u)+1)*T]
+}
+
+// Col returns auth(·, topic) for every node — the column-major access
+// path for loops that read one topic across many nodes. The slice
+// aliases internal storage and must not be modified.
+func (t *Table) Col(topic topics.ID) []float64 {
+	return t.cols[int(topic)*t.n : (int(topic)+1)*t.n]
 }
 
 // MaxFollowersOnTopic returns max_v |Γv(t)|, the global normalizer.

@@ -32,17 +32,55 @@ const (
 type Scratch struct {
 	n, k int
 
-	curSigma, nextSigma   []float64 // n × k
-	curTopoB, nextTopoB   []float64
-	curTopoAB, nextTopoAB []float64
-	inCur, inNext         []bool
-	curList, nextList     []graph.NodeID
-	perTopic              []float64 // per-hop topic-mass accumulator, len k
+	// cur and next hold the per-hop deltas interleaved per node with
+	// stride k+2: σ for each of the k topics, then topo_β, then topo_βα.
+	// One node's whole row lives on (at most two) cache lines, so the
+	// edge relaxation takes one memory touch per target instead of three
+	// — the propagation is bandwidth-bound, and the σ/topo values of a
+	// target are always written together.
+	cur, next         []float64 // n × (k+2)
+	inCur, inNext     []bool
+	curList, nextList []graph.NodeID
+	perTopic          []float64   // per-hop topic-mass accumulator, len k
+	acols             [][]float64 // per-query authority columns, len k
+
+	// Result arrays for ExploreOptions.DenseResult: accumulated scores
+	// land here instead of in per-Exploration maps. resList records the
+	// touched nodes so the next exploration resets in O(touched); resK is
+	// the topic width of the rows to reset. Allocated on first use.
+	resSigma            []float64 // n × k, stride k
+	resTopoB, resTopoAB []float64
+	resIn               []bool
+	resList             []graph.NodeID
+	resK                int
 
 	// kern rides along so the kernel mode's tile pool travels through the
 	// existing ScratchPool plumbing; nil until the first kernel
 	// exploration uses this scratch.
 	kern *kernelScratch
+}
+
+// resetResult prepares the result arrays for a fresh exploration of topic
+// width k: lazily allocates them and zeroes only the entries the previous
+// exploration touched.
+func (s *Scratch) resetResult(k int) {
+	if s.resSigma == nil {
+		s.resSigma = make([]float64, s.n*s.k)
+		s.resTopoB = make([]float64, s.n)
+		s.resTopoAB = make([]float64, s.n)
+		s.resIn = make([]bool, s.n)
+	}
+	for _, v := range s.resList {
+		base := int(v) * s.k
+		for ti := 0; ti < s.resK; ti++ {
+			s.resSigma[base+ti] = 0
+		}
+		s.resTopoB[v] = 0
+		s.resTopoAB[v] = 0
+		s.resIn[v] = false
+	}
+	s.resList = s.resList[:0]
+	s.resK = k
 }
 
 // NewScratch sizes a scratch for the engine's graph and full vocabulary.
@@ -54,9 +92,7 @@ func NewScratch(e *Engine) *Scratch {
 func newScratchDims(n, k int) *Scratch {
 	return &Scratch{
 		n: n, k: k,
-		curSigma: make([]float64, n*k), nextSigma: make([]float64, n*k),
-		curTopoB: make([]float64, n), nextTopoB: make([]float64, n),
-		curTopoAB: make([]float64, n), nextTopoAB: make([]float64, n),
+		cur: make([]float64, n*(k+2)), next: make([]float64, n*(k+2)),
 		inCur: make([]bool, n), inNext: make([]bool, n),
 		perTopic: make([]float64, k),
 	}
@@ -97,25 +133,56 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 		Src:    src,
 		Topics: ts,
 		k:      k,
-		sigma:  make(map[graph.NodeID][]float64),
-		topoB:  make(map[graph.NodeID]float64),
-		topoAB: make(map[graph.NodeID]float64),
+	}
+	if opts.DenseResult {
+		// Scores accumulate straight into the scratch's flat result
+		// arrays; the Exploration aliases them, so it is only valid until
+		// this scratch's next exploration.
+		s.resetResult(k)
+		x.dSigma = s.resSigma
+		x.dTopoB = s.resTopoB
+		x.dTopoAB = s.resTopoAB
+		x.dIn = s.resIn
+		x.dk = s.k
+	} else {
+		x.sigma = make(map[graph.NodeID][]float64)
+		x.topoB = make(map[graph.NodeID]float64)
+		x.topoAB = make(map[graph.NodeID]float64)
 	}
 
 	beta, alpha := e.params.Beta, e.params.Alpha
 	ab := alpha * beta
+
+	// Authority is read per edge target for the query's fixed topics, so
+	// hoist the per-topic columns: random accesses then hit one
+	// n-float column each instead of striding through the n×T row-major
+	// table (a miss per edge at serving sizes). A nil column is the
+	// unit-authority variant; sr[t]*1 is bit-identical to sr[t], so the
+	// two paths score identically.
+	acols := s.acols[:0]
+	for _, t := range ts {
+		acols = append(acols, e.authCol(t))
+	}
+	s.acols = acols
+
+	// Row layout of the interleaved hop arrays: σ occupies the first k
+	// slots of a node's row, topo_β and topo_βα the two slots after the
+	// scratch's full topic width (a scratch sized for s.k topics serving a
+	// narrower query leaves slots k..s.k-1 untouched).
+	stride := s.k + 2
+	bOff, abOff := s.k, s.k+1
 
 	// Seed the frontier with the source.
 	s.curList = s.curList[:0]
 	s.nextList = s.nextList[:0]
 	s.curList = append(s.curList, src)
 	s.inCur[src] = true
-	base := int(src) * s.k
+	base := int(src) * stride
 	for ti := 0; ti < k; ti++ {
-		s.curSigma[base+ti] = 0
+		s.cur[base+ti] = 0
 	}
-	s.curTopoB[src] = 1
-	s.curTopoAB[src] = 1
+	s.cur[base+bOff] = 1
+	s.cur[base+abOff] = 1
 
 	clearCur := func() {
 		for _, u := range s.curList {
@@ -151,29 +218,31 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 			if stop != nil && w != src && stop(w) {
 				continue
 			}
-			wBase := int(w) * s.k
-			wTopoAB := s.curTopoAB[w]
-			wTopoB := s.curTopoB[w]
+			wBase := int(w) * stride
+			wTopoAB := s.cur[wBase+abOff]
+			wTopoB := s.cur[wBase+bOff]
 			dsts, lbls := e.g.Out(w)
 			for i, v := range dsts {
-				vBase := int(v) * s.k
+				vBase := int(v) * stride
 				if !s.inNext[v] {
 					s.inNext[v] = true
 					s.nextList = append(s.nextList, v)
 					for ti := 0; ti < k; ti++ {
-						s.nextSigma[vBase+ti] = 0
+						s.next[vBase+ti] = 0
 					}
-					s.nextTopoB[v] = 0
-					s.nextTopoAB[v] = 0
+					s.next[vBase+bOff] = 0
+					s.next[vBase+abOff] = 0
 				}
 				sr := e.simRow(lbls[i])
-				ar := e.authRow(v)
 				for ti, t := range ts {
-					unit := sr[t] * ar[t]
-					s.nextSigma[vBase+ti] += beta*s.curSigma[wBase+ti] + wTopoAB*(ab*unit)
+					unit := sr[t]
+					if ac := acols[ti]; ac != nil {
+						unit *= ac[v]
+					}
+					s.next[vBase+ti] += beta*s.cur[wBase+ti] + wTopoAB*(ab*unit)
 				}
-				s.nextTopoAB[v] += ab * wTopoAB
-				s.nextTopoB[v] += beta * wTopoB
+				s.next[vBase+abOff] += ab * wTopoAB
+				s.next[vBase+bOff] += beta * wTopoB
 			}
 		}
 		if x.Cancelled {
@@ -196,27 +265,50 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 		for i := range perTopic {
 			perTopic[i] = 0
 		}
-		for _, v := range s.nextList {
-			vBase := int(v) * s.k
-			row, ok := x.sigma[v]
-			if !ok {
-				row = rows.newRow()
-				x.sigma[v] = row
-				if v != src {
-					x.Reached = append(x.Reached, v)
+		if opts.DenseResult {
+			for _, v := range s.nextList {
+				vBase := int(v) * stride
+				rBase := int(v) * s.k
+				if !s.resIn[v] {
+					s.resIn[v] = true
+					s.resList = append(s.resList, v)
+					if v != src {
+						x.Reached = append(x.Reached, v)
+					}
 				}
+				for ti := 0; ti < k; ti++ {
+					d := s.next[vBase+ti]
+					s.resSigma[rBase+ti] += d
+					perTopic[ti] += d
+				}
+				s.resTopoB[v] += s.next[vBase+bOff]
+				s.resTopoAB[v] += s.next[vBase+abOff]
+				topoMass += s.next[vBase+bOff]
 			}
-			for ti := 0; ti < k; ti++ {
-				d := s.nextSigma[vBase+ti]
-				row[ti] += d
-				perTopic[ti] += d
+			x.dScored = len(s.resList)
+		} else {
+			for _, v := range s.nextList {
+				vBase := int(v) * stride
+				row, ok := x.sigma[v]
+				if !ok {
+					row = rows.newRow()
+					x.sigma[v] = row
+					if v != src {
+						x.Reached = append(x.Reached, v)
+					}
+				}
+				for ti := 0; ti < k; ti++ {
+					d := s.next[vBase+ti]
+					row[ti] += d
+					perTopic[ti] += d
+				}
+				x.topoB[v] += s.next[vBase+bOff]
+				x.topoAB[v] += s.next[vBase+abOff]
+				topoMass += s.next[vBase+bOff]
 			}
-			x.topoB[v] += s.nextTopoB[v]
-			x.topoAB[v] += s.nextTopoAB[v]
-			topoMass += s.nextTopoB[v]
 		}
 		x.Iterations = depth
-		denom := float64(len(x.sigma))
+		denom := float64(x.scored())
 		if denom == 0 {
 			denom = 1
 		}
@@ -231,9 +323,7 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 		// Swap frontiers.
 		clearCur()
 		s.curList, s.nextList = s.nextList, s.curList
-		s.curSigma, s.nextSigma = s.nextSigma, s.curSigma
-		s.curTopoB, s.nextTopoB = s.nextTopoB, s.curTopoB
-		s.curTopoAB, s.nextTopoAB = s.nextTopoAB, s.curTopoAB
+		s.cur, s.next = s.next, s.cur
 		s.inCur, s.inNext = s.inNext, s.inCur
 
 		if converged {

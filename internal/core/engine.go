@@ -268,6 +268,18 @@ func (e *Engine) authRow(v graph.NodeID) []float64 {
 	return e.auth.Row(v)
 }
 
+// authCol returns auth(·, t) for every node, or nil when the variant
+// ignores authority (callers substitute a unit factor). The dense
+// exploration reads one topic across many random nodes, so the
+// column-major path keeps the working set at one column instead of the
+// whole table.
+func (e *Engine) authCol(t topics.ID) []float64 {
+	if e.params.Variant == TrNoAuth || e.params.Variant == TopoOnly {
+		return nil
+	}
+	return e.auth.Col(t)
+}
+
 // Graph returns the engine's graph.
 func (e *Engine) Graph() graph.View { return e.g }
 

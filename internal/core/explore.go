@@ -30,10 +30,26 @@ type Exploration struct {
 	sigma  map[graph.NodeID][]float64
 	topoB  map[graph.NodeID]float64
 	topoAB map[graph.NodeID]float64
+
+	// Dense-result backing (ExploreOptions.DenseResult): scores live in
+	// the scratch's flat arrays instead of the maps above, indexed by
+	// node id with stride dk. Valid only until the scratch's next
+	// exploration.
+	dSigma          []float64
+	dTopoB, dTopoAB []float64
+	dIn             []bool
+	dk              int
+	dScored         int // nodes holding a row, including a revisited Src
 }
 
 // Sigma returns σ(Src, v, Topics[ti]).
 func (x *Exploration) Sigma(v graph.NodeID, ti int) float64 {
+	if x.dSigma != nil {
+		if !x.dIn[v] {
+			return 0
+		}
+		return x.dSigma[int(v)*x.dk+ti]
+	}
 	if row, ok := x.sigma[v]; ok {
 		return row[ti]
 	}
@@ -42,13 +58,46 @@ func (x *Exploration) Sigma(v graph.NodeID, ti int) float64 {
 
 // SigmaRow returns the per-topic scores of v in Topics order (nil if v was
 // never reached). The slice aliases internal storage.
-func (x *Exploration) SigmaRow(v graph.NodeID) []float64 { return x.sigma[v] }
+func (x *Exploration) SigmaRow(v graph.NodeID) []float64 {
+	if x.dSigma != nil {
+		if !x.dIn[v] {
+			return nil
+		}
+		base := int(v) * x.dk
+		return x.dSigma[base : base+x.k]
+	}
+	return x.sigma[v]
+}
 
 // TopoB returns the Katz score topo_β(Src, v) (Equation 2).
-func (x *Exploration) TopoB(v graph.NodeID) float64 { return x.topoB[v] }
+func (x *Exploration) TopoB(v graph.NodeID) float64 {
+	if x.dTopoB != nil {
+		if !x.dIn[v] {
+			return 0
+		}
+		return x.dTopoB[v]
+	}
+	return x.topoB[v]
+}
 
 // TopoAB returns topo_αβ(Src, v), the topological score with decay α·β.
-func (x *Exploration) TopoAB(v graph.NodeID) float64 { return x.topoAB[v] }
+func (x *Exploration) TopoAB(v graph.NodeID) float64 {
+	if x.dTopoAB != nil {
+		if !x.dIn[v] {
+			return 0
+		}
+		return x.dTopoAB[v]
+	}
+	return x.topoAB[v]
+}
+
+// scored returns the number of nodes holding a score row.
+func (x *Exploration) scored() int {
+	if x.dSigma != nil {
+		return x.dScored
+	}
+	return len(x.sigma)
+}
 
 // TopicIndex returns the position of t in Topics, or -1 when the
 // exploration did not cover it.
@@ -94,6 +143,13 @@ type ExploreOptions struct {
 	// Scratch supplies reusable dense buffers (DenseMode/AutoMode only);
 	// nil allocates fresh ones.
 	Scratch *Scratch
+	// DenseResult keeps the result scores in the scratch's flat arrays
+	// instead of building per-node map entries — the right trade for hot
+	// serving loops that read scores through the accessors and then
+	// discard the Exploration. Requires DenseMode and a Scratch; the
+	// returned Exploration aliases the scratch and is valid only until
+	// that scratch's next exploration (or its return to a pool).
+	DenseResult bool
 	// Ctx, when non-nil, is checked between hops (and periodically inside
 	// large hops): a done context stops the exploration and marks the
 	// result Cancelled. This is how the server bounds slow exact-Tr
@@ -119,7 +175,7 @@ func exploreMetrics(reg *metrics.Registry, x *Exploration, peakFrontier int) {
 		metrics.ExponentialBuckets(10, 10, 7)).Observe(float64(peakFrontier))
 	reg.Histogram("core_explore_scored_nodes",
 		"Nodes holding a non-zero score at the end of an exploration.",
-		metrics.ExponentialBuckets(10, 10, 7)).Observe(float64(len(x.sigma)))
+		metrics.ExponentialBuckets(10, 10, 7)).Observe(float64(x.scored()))
 	if x.Cancelled {
 		reg.Counter("core_explore_cancelled_total",
 			"Explorations stopped early by context cancellation.").Inc()

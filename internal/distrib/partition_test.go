@@ -1,0 +1,112 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// Partitioning must be a pure function of (graph, parts, seed): every
+// shard worker computes the assignment independently from its flags, and
+// any divergence would silently double-count or drop nodes in the merge.
+func TestPartitionDeterminism(t *testing.T) {
+	ds := gen.RandomWith(300, 2400, 9)
+	for run := 0; run < 3; run++ {
+		h := HashPartition(ds.Graph, 4)
+		c := ConnectivityPartition(ds.Graph, 4, 11)
+		if run == 0 {
+			continue
+		}
+		h0 := HashPartition(ds.Graph, 4)
+		c0 := ConnectivityPartition(ds.Graph, 4, 11)
+		for u := range h.Of {
+			if h.Of[u] != h0.Of[u] {
+				t.Fatalf("hash: node %d assigned %d then %d", u, h0.Of[u], h.Of[u])
+			}
+			if c.Of[u] != c0.Of[u] {
+				t.Fatalf("connectivity: node %d assigned %d then %d", u, c0.Of[u], c.Of[u])
+			}
+		}
+	}
+	// A different seed is allowed to (and here does) produce a different
+	// connectivity assignment — the seed is part of the deployment config.
+	a := ConnectivityPartition(ds.Graph, 4, 11)
+	b := ConnectivityPartition(ds.Graph, 4, 12)
+	same := true
+	for u := range a.Of {
+		if a.Of[u] != b.Of[u] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 11 and 12 produced identical connectivity assignments")
+	}
+}
+
+func TestAssignmentValidateRejections(t *testing.T) {
+	ds := gen.RandomWith(50, 300, 1)
+	ok := HashPartition(ds.Graph, 3)
+	if err := ok.Validate(ds.Graph); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+
+	short := Assignment{Of: make([]int, 49), Parts: 3}
+	if err := short.Validate(ds.Graph); err == nil {
+		t.Error("assignment missing a node must be rejected")
+	}
+	long := Assignment{Of: make([]int, 51), Parts: 3}
+	if err := long.Validate(ds.Graph); err == nil {
+		t.Error("assignment with extra nodes must be rejected")
+	}
+	over := HashPartition(ds.Graph, 3)
+	over.Of[17] = 3
+	if err := over.Validate(ds.Graph); err == nil {
+		t.Error("partition index == Parts must be rejected")
+	}
+	neg := HashPartition(ds.Graph, 3)
+	neg.Of[0] = -1
+	if err := neg.Validate(ds.Graph); err == nil {
+		t.Error("negative partition index must be rejected")
+	}
+}
+
+// CutEdges on hand-built graphs where the cut is countable by eye.
+func TestCutEdgesKnownGraphs(t *testing.T) {
+	vocab := topics.MustVocabulary([]string{"a", "b"})
+	lbl := topics.NewSet(0)
+
+	// A 4-cycle 0→1→2→3→0 split {0,1} / {2,3}: edges 1→2 and 3→0 cross.
+	b := graph.NewBuilder(vocab, 4)
+	b.AddEdge(0, 1, lbl)
+	b.AddEdge(1, 2, lbl)
+	b.AddEdge(2, 3, lbl)
+	b.AddEdge(3, 0, lbl)
+	cycle := b.MustFreeze()
+	split := Assignment{Of: []int{0, 0, 1, 1}, Parts: 2}
+	if got := CutEdges(cycle, split); got != 2 {
+		t.Errorf("4-cycle split in halves: cut %d, want 2", got)
+	}
+	onePart := Assignment{Of: []int{0, 0, 0, 0}, Parts: 1}
+	if got := CutEdges(cycle, onePart); got != 0 {
+		t.Errorf("single partition: cut %d, want 0", got)
+	}
+	alternating := Assignment{Of: []int{0, 1, 0, 1}, Parts: 2}
+	if got := CutEdges(cycle, alternating); got != 4 {
+		t.Errorf("alternating split: cut %d, want 4", got)
+	}
+
+	// A star 0→{1,2,3,4} with the hub alone on partition 0: every edge
+	// crosses.
+	b = graph.NewBuilder(vocab, 5)
+	for v := graph.NodeID(1); v <= 4; v++ {
+		b.AddEdge(0, v, lbl)
+	}
+	star := b.MustFreeze()
+	hubAlone := Assignment{Of: []int{0, 1, 1, 1, 1}, Parts: 2}
+	if got := CutEdges(star, hubAlone); got != 4 {
+		t.Errorf("star with isolated hub: cut %d, want 4", got)
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// Regression for the bench-serve workload shape: at 16x concurrency the
+// Zipf-skewed query pool must actually collide on in-flight keys — a
+// workload of all-distinct queries silently turns the coalescer into dead
+// code and the bench into a pure shedding measurement.
+func TestBenchServeCoalescesAt16x(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop load bench")
+	}
+	r := NewRunner(tinyConfig())
+	env, err := r.benchServeSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := env.reg.Counter("coalesce_hits_total", "").Value()
+	lvl := runBenchServeLevel(env, 16, 2000)
+	hits := env.reg.Counter("coalesce_hits_total", "").Value() - pre
+	if hits == 0 {
+		t.Errorf("coalesce hit rate is zero at 16x over %d ops — the Zipf pool no longer collides", lvl.Ops)
+	}
+	if lvl.Errors5xx > 0 {
+		t.Errorf("%d 5xx responses under load", lvl.Errors5xx)
+	}
+}

@@ -1,0 +1,501 @@
+// benchshard.go measures the sharded scatter/gather serving tier at 1, 2
+// and 4 partition workers. Two measurements per shard count:
+//
+//  1. Scale-out: each shard's partial computation is timed serially in
+//     isolation, and deployment throughput is derived from the bottleneck
+//     shard — in the deployment model every worker is its own machine, so
+//     a closed pipeline completes one gather per slowest-shard service
+//     time. This is the honest way to measure scale-out on a small shared
+//     box: wall-clock QPS of P in-process workers multiplexed onto the
+//     host's core(s) measures the core count, not the design.
+//  2. Behaviour: the real HTTP stack — shard workers behind httptest
+//     listeners, the scatter/gather router in front — is driven
+//     closed-loop at 16 workers, and the shed rate, degraded count and
+//     5xx count are the load-management gates.
+//
+// Written to BENCH_shard.json by `trbench -exp bench-shard`.
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// benchShardWorkers is the closed-loop client count of the behaviour
+// phase — 16x, matching bench-serve's highest level.
+const benchShardWorkers = 16
+
+// benchShardOps is the operation count of the behaviour phase per shard
+// count.
+const benchShardOps = 400
+
+// benchShardProbes is how many serial partial computations time each
+// shard per probe repetition in the scale-out phase (after warmup).
+const benchShardProbes = 60
+
+// benchShardProbeReps is how many interleaved probe passes run over
+// every deployment's shards; each query keeps its fastest observation
+// (see shardProbe for the estimator's rationale).
+const benchShardProbeReps = 5
+
+// benchShardShedBaseline is the single-node shed rate at 16x that
+// bench-serve measured before this tier existed; the sharded deployment
+// must shed strictly less at the same offered concurrency.
+const benchShardShedBaseline = 0.57
+
+// benchShardCounts are the measured deployment sizes.
+var benchShardCounts = []int{1, 2, 4}
+
+// BenchShardLevel is the measurement at one shard count.
+type BenchShardLevel struct {
+	// Shards is the partition worker count.
+	Shards int
+	// PartialMeanUS is the mean partial-computation service time per
+	// shard, microseconds, measured serially in isolation.
+	PartialMeanUS []int64
+	// BottleneckUS is the slowest shard's mean service time — the
+	// deployment's pipeline period.
+	BottleneckUS int64
+	// AggQPS is the modeled deployment throughput: one gather per
+	// bottleneck service time, shards on independent machines.
+	AggQPS float64
+	// Ops, OK, Shed and Errors5xx summarize the behaviour phase over the
+	// real HTTP scatter/gather stack (2xx, 429, >=500).
+	Ops, OK, Shed, Errors5xx int
+	// Degraded is the requests_degraded_total delta during the behaviour
+	// phase — nonzero means some gathers lost a shard.
+	Degraded uint64
+	// P50US and P99US are end-to-end latency percentiles over successful
+	// queries in the behaviour phase, microseconds.
+	P50US, P99US int64
+	// WallQPS is the behaviour phase's wall-clock throughput. On a host
+	// with fewer cores than shards this *falls* with the shard count
+	// (every worker multiplexes onto the same cores and the exploration
+	// is replicated); it is reported for transparency, not gated.
+	WallQPS float64
+	// ShedRate is Shed / Ops.
+	ShedRate float64
+}
+
+// BenchShardResult is the bench-shard artifact with its acceptance
+// gates: ScaleOK (modeled deployment throughput at 4 shards is at least
+// 2.5x the 1-shard deployment), ShedOK (the real stack at 16x sheds
+// below the single-node baseline at every shard count) and Zero5xx
+// (overload and shard failure surface as 429/degraded answers, never as
+// server errors).
+type BenchShardResult struct {
+	Experiment   string
+	Nodes, Edges int
+	Landmarks    int
+	StoreTopN    int
+	Workers      int
+	Cores        int
+	Levels       []BenchShardLevel
+	// SpeedupAt4 is AggQPS(4 shards) / AggQPS(1 shard).
+	SpeedupAt4   float64
+	ShedBaseline float64
+	ScaleOK      bool
+	ShedOK       bool
+	Zero5xx      bool
+}
+
+// benchShardEnv is the material shared across shard counts: one engine,
+// one full preprocessing run (subset per deployment), one fallback
+// manager and the query pool.
+type benchShardEnv struct {
+	eng     *core.Engine
+	full    *landmark.Store
+	lms     []graph.NodeID
+	mgr     *dynamic.Manager
+	beta    float64
+	depth   int
+	queries []workload.Query
+}
+
+// benchShardTier is one assembled deployment: the shard objects (probed
+// directly in the scale-out phase) plus the served stack wired through
+// real HTTP.
+type benchShardTier struct {
+	shards  []*distrib.Shard
+	servers []*httptest.Server
+	handler http.Handler
+	reg     *metrics.Registry
+}
+
+func (t *benchShardTier) close() {
+	for _, s := range t.servers {
+		s.Close()
+	}
+}
+
+// benchShardSetup generates the dataset, selects landmarks, runs the
+// full preprocessing once and builds the fallback manager.
+func (r *Runner) benchShardSetup() (*benchShardEnv, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	g := tw.Graph
+	lms, err := landmark.Select(g, landmark.InDeg, r.cfg.Landmarks, landmark.DefaultSelectConfig())
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(g, authority.Compute(g), tw.Sim, r.cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	// One full preprocessing run; each deployment takes per-shard subsets
+	// of it, exactly as N independent trshard workers would each compute
+	// their owned slice.
+	full, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: r.cfg.StoreTopN})
+	// The front-end's own manager only backs the all-shards-down local
+	// fallback, which this bench never exercises; a minimal store keeps
+	// setup time out of the measurement.
+	mgr, err := dynamic.NewManager(g, lms[:min(4, len(lms))], dynamic.Config{
+		Params:     r.cfg.Params,
+		Sim:        tw.Sim,
+		StoreTopN:  10,
+		QueryDepth: r.cfg.ApproxDepth,
+		Strategy:   dynamic.Threshold,
+		StaleBound: 1 << 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries, err := workload.Generate(g, workload.Config{
+		Queries: 512, TopN: 10, MinOutDegree: 3, TopicBias: 1.2, Seed: r.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &benchShardEnv{
+		eng:     eng,
+		full:    full,
+		lms:     lms,
+		mgr:     mgr,
+		beta:    r.cfg.Params.Beta,
+		depth:   r.cfg.ApproxDepth,
+		queries: queries,
+	}, nil
+}
+
+// buildShardTier partitions the deployment into parts shards over the
+// shared engine and store, starts one worker per shard behind a real
+// HTTP listener, and fronts them with a router-mode server.
+func (env *benchShardEnv) buildShardTier(parts int) (*benchShardTier, error) {
+	g := env.eng.Graph()
+	assign := distrib.HashPartition(g, parts)
+	tier := &benchShardTier{reg: metrics.NewRegistry()}
+	groups := make([][]string, parts)
+	for p := 0; p < parts; p++ {
+		// Candidate-partitioned list view; at parts=1 the full store is
+		// already that view, so skip the copy.
+		sub := env.full
+		if parts > 1 {
+			sub = env.full.SubsetNodes(func(v graph.NodeID) bool { return assign.Of[v] == p })
+		}
+		sh, err := distrib.NewShard(env.eng, sub, assign, p, env.lms, env.depth)
+		if err != nil {
+			tier.close()
+			return nil, err
+		}
+		// One compute slot per worker (a single-core machine each, in the
+		// deployment model) and a queue deep enough for the full closed
+		// loop: the shard trades queue wait for shedding, and the gather
+		// timeout bounds the wait.
+		ss := distrib.NewShardServer(sh, p, parts, distrib.ShardServerConfig{
+			MaxInflight: 1, MaxQueue: 2 * benchShardWorkers,
+		})
+		srv := httptest.NewServer(ss)
+		tier.shards = append(tier.shards, sh)
+		tier.servers = append(tier.servers, srv)
+		groups[p] = []string{srv.URL}
+	}
+	parsed, err := server.ParseShardFlag(joinGroups(groups))
+	if err != nil {
+		tier.close()
+		return nil, err
+	}
+	front := server.New(env.mgr, env.beta,
+		server.WithMetrics(tier.reg),
+		server.WithShardRouter(server.NewShardRouter(parsed, 10*time.Second, 0)),
+		// No result cache: every operation must scatter, so the level
+		// compares the tier itself, not cache hit rates.
+		server.WithCacheSize(0),
+		server.WithRequestTimeout(30*time.Second),
+		server.WithAdmission(server.AdmissionConfig{MaxInflight: 1, MaxQueue: 1}),
+	)
+	tier.handler = front.Handler()
+	return tier, nil
+}
+
+// joinGroups renders httptest URLs back into the -shards flag syntax, so
+// the bench exercises the same parsing path as a real deployment.
+func joinGroups(groups [][]string) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		parts[i] = strings.Join(g, "|")
+	}
+	return strings.Join(parts, ",")
+}
+
+// shardProbe accumulates per-query minimum service times for one shard
+// across probe repetitions. The gate compares deployments against each
+// other, so repetitions are interleaved across ALL deployments (the rep
+// loop lives in BenchShard): a slow phase of the host machine — thermal
+// throttling, a neighbor container — then inflates every deployment's
+// observations equally instead of biasing whichever one happened to be
+// probed during it, and the per-query minimum keeps, for numerator and
+// denominator alike, the repetition that saw the machine at its best.
+type shardProbe struct {
+	sh   *distrib.Shard
+	best []time.Duration
+	buf  []distrib.PartialEntry
+}
+
+func newShardProbe(sh *distrib.Shard, queries []workload.Query) *shardProbe {
+	const warmup = 5
+	p := &shardProbe{sh: sh, best: make([]time.Duration, benchShardProbes)}
+	// The probe recycles one output buffer across calls, exactly as the
+	// worker's request handler does through its pool.
+	for i := 0; i < warmup; i++ {
+		q := queries[i%len(queries)]
+		p.buf = sh.PartialAppend(q.User, q.Topic, p.buf)
+	}
+	return p
+}
+
+// rep runs one probe pass: every query timed once, each keeping its
+// fastest observation so far. A partial computation is deterministic
+// work, so its true service time is the minimum observed — a GC cycle
+// or scheduler stall inflates one observation, and the per-query
+// minimum discards the spike at the finest granularity.
+func (p *shardProbe) rep(queries []workload.Query, rep int) {
+	// Flush allocation debt from tier setup (or the previous pass) so a
+	// GC cycle triggered mid-probe doesn't bill someone else's garbage to
+	// this shard's service time.
+	runtime.GC()
+	for i := 0; i < benchShardProbes; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		p.buf = p.sh.PartialAppend(q.User, q.Topic, p.buf)
+		if d := time.Since(t0); rep == 0 || d < p.best[i] {
+			p.best[i] = d
+		}
+	}
+}
+
+// mean is the mean over queries of each query's fastest repetition.
+// Every shard replays the same query slice, so per-shard differences
+// measure ownership imbalance, not workload luck.
+func (p *shardProbe) mean() time.Duration {
+	var total time.Duration
+	for _, d := range p.best {
+		total += d
+	}
+	return total / benchShardProbes
+}
+
+// runBenchShardLevel drives the behaviour phase: benchShardWorkers
+// closed-loop clients playing ops queries against the router-mode
+// handler over the live shard workers.
+func runBenchShardLevel(tier *benchShardTier, vocabName func(q workload.Query) string, queries []workload.Query, ops int) BenchShardLevel {
+	lvl := BenchShardLevel{Ops: ops}
+	var next atomic.Int64
+	var shed, bad5xx atomic.Int64
+	lats := make([][]time.Duration, benchShardWorkers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < benchShardWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					return
+				}
+				q := queries[i%len(queries)]
+				qs := url.Values{}
+				qs.Set("user", fmt.Sprint(q.User))
+				qs.Set("topic", vocabName(q))
+				qs.Set("n", fmt.Sprint(q.TopN))
+				qs.Set("method", "landmark")
+				req := httptest.NewRequest(http.MethodGet, "/v1/recommend?"+qs.Encode(), nil)
+				rw := httptest.NewRecorder()
+				t0 := time.Now()
+				tier.handler.ServeHTTP(rw, req)
+				took := time.Since(t0)
+				switch {
+				case rw.Code == http.StatusOK:
+					lats[w] = append(lats[w], took)
+				case rw.Code == http.StatusTooManyRequests:
+					shed.Add(1)
+				case rw.Code >= 500:
+					bad5xx.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return all[i].Microseconds()
+	}
+	lvl.OK = len(all)
+	lvl.Shed = int(shed.Load())
+	lvl.Errors5xx = int(bad5xx.Load())
+	lvl.P50US = pct(0.50)
+	lvl.P99US = pct(0.99)
+	if wall > 0 {
+		lvl.WallQPS = float64(ops) / wall.Seconds()
+	}
+	lvl.ShedRate = float64(lvl.Shed) / float64(ops)
+	return lvl
+}
+
+// BenchShard measures the sharded scatter/gather tier at 1, 2 and 4
+// partition workers: modeled deployment throughput from per-shard
+// service times, plus shed/degraded/5xx behaviour of the real stack
+// under 16x closed-loop load.
+func (r *Runner) BenchShard() (*BenchShardResult, error) {
+	env, err := r.benchShardSetup()
+	if err != nil {
+		return nil, err
+	}
+	g := env.eng.Graph()
+	vocab := g.Vocabulary()
+	vocabName := func(q workload.Query) string { return vocab.Name(q.Topic) }
+	res := &BenchShardResult{
+		Experiment:   "bench-shard",
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Landmarks:    len(env.lms),
+		StoreTopN:    r.cfg.StoreTopN,
+		Workers:      benchShardWorkers,
+		Cores:        runtime.GOMAXPROCS(0),
+		ShedBaseline: benchShardShedBaseline,
+		Zero5xx:      true,
+		ShedOK:       true,
+	}
+	// Scale-out phase first, on an otherwise idle process: all
+	// deployments are built up front and their shards probed in
+	// interleaved repetition passes, so the speedup gate compares service
+	// times observed under the same machine conditions (see shardProbe).
+	tiers := make([]*benchShardTier, len(benchShardCounts))
+	probes := make([][]*shardProbe, len(benchShardCounts))
+	for li, parts := range benchShardCounts {
+		tier, err := env.buildShardTier(parts)
+		if err != nil {
+			for _, t := range tiers[:li] {
+				t.close()
+			}
+			return nil, err
+		}
+		tiers[li] = tier
+		for _, sh := range tier.shards {
+			probes[li] = append(probes[li], newShardProbe(sh, env.queries))
+		}
+	}
+	probePass := func(base int) {
+		for rep := 0; rep < benchShardProbeReps; rep++ {
+			for _, ps := range probes {
+				for _, p := range ps {
+					p.rep(env.queries, base+rep)
+				}
+			}
+		}
+	}
+	// First probe window, then the behaviour phases, then a second probe
+	// window: one window's passes complete within seconds, so a sustained
+	// busy phase of a shared host would poison every repetition at once —
+	// the behaviour phases put minutes between the windows, and each
+	// query keeps its fastest observation across both.
+	probePass(0)
+	for li, parts := range benchShardCounts {
+		tier := tiers[li]
+		preDegraded := tier.reg.Counter("requests_degraded_total", "").Value()
+		lvl := runBenchShardLevel(tier, vocabName, env.queries, benchShardOps)
+		lvl.Shards = parts
+		lvl.Degraded = tier.reg.Counter("requests_degraded_total", "").Value() - preDegraded
+		if lvl.Errors5xx > 0 {
+			res.Zero5xx = false
+		}
+		if lvl.ShedRate >= benchShardShedBaseline {
+			res.ShedOK = false
+		}
+		res.Levels = append(res.Levels, lvl)
+	}
+	probePass(benchShardProbeReps)
+	for li := range benchShardCounts {
+		tier := tiers[li]
+		lvl := &res.Levels[li]
+		var bottleneck time.Duration
+		for _, p := range probes[li] {
+			m := p.mean()
+			lvl.PartialMeanUS = append(lvl.PartialMeanUS, m.Microseconds())
+			if m > bottleneck {
+				bottleneck = m
+			}
+		}
+		lvl.BottleneckUS = bottleneck.Microseconds()
+		if bottleneck > 0 {
+			lvl.AggQPS = float64(time.Second) / float64(bottleneck)
+		}
+		tier.close()
+	}
+	first, last := res.Levels[0], res.Levels[len(res.Levels)-1]
+	if first.AggQPS > 0 {
+		res.SpeedupAt4 = last.AggQPS / first.AggQPS
+	}
+	res.ScaleOK = res.SpeedupAt4 >= 2.5
+	return res, nil
+}
+
+// String renders the per-deployment table and the acceptance gates.
+func (b *BenchShardResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sharded scatter/gather tier: %d nodes, %d edges, %d landmarks, store top-%d, %d closed-loop workers, %d host core(s)\n",
+		b.Nodes, b.Edges, b.Landmarks, b.StoreTopN, b.Workers, b.Cores)
+	for _, l := range b.Levels {
+		fmt.Fprintf(&sb, "P=%d: partial bottleneck %-9s -> modeled %6.0f gathers/s | real stack: ok %-4d shed %-3d (%.1f%%) degraded %-3d p50 %-9s p99 %-9s wall %5.0f op/s 5xx %d\n",
+			l.Shards, time.Duration(l.BottleneckUS)*time.Microsecond, l.AggQPS,
+			l.OK, l.Shed, 100*l.ShedRate, l.Degraded,
+			time.Duration(l.P50US)*time.Microsecond, time.Duration(l.P99US)*time.Microsecond,
+			l.WallQPS, l.Errors5xx)
+	}
+	fmt.Fprintf(&sb, "speedup at 4 shards: %.2fx (gate >= 2.5x): %v; shed at %dx under %.0f%% single-node baseline: %v; zero 5xx: %v\n",
+		b.SpeedupAt4, b.ScaleOK, b.Workers, 100*b.ShedBaseline, b.ShedOK, b.Zero5xx)
+	return sb.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// Smoke the sharded bench end to end on the tiny dataset: every shard
+// count must come back with probe timings and a clean behaviour phase —
+// no 5xx, and nothing degraded (all workers are healthy, so every gather
+// must be complete).
+func TestBenchShardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop load bench")
+	}
+	r := NewRunner(tinyConfig())
+	env, err := r.benchShardSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vocab := env.eng.Graph().Vocabulary()
+	for _, parts := range []int{1, 2} {
+		tier, err := env.buildShardTier(parts)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		for p, sh := range tier.shards {
+			probe := newShardProbe(sh, env.queries[:8])
+			for rep := 0; rep < 2; rep++ {
+				probe.rep(env.queries[:8], rep)
+			}
+			if d := probe.mean(); d <= 0 {
+				t.Errorf("parts=%d shard %d: non-positive probe time %v", parts, p, d)
+			}
+		}
+		lvl := runBenchShardLevel(tier, func(q workload.Query) string { return vocab.Name(q.Topic) }, env.queries, 200)
+		deg := tier.reg.Counter("requests_degraded_total", "").Value()
+		tier.close()
+		if lvl.Errors5xx > 0 {
+			t.Errorf("parts=%d: %d 5xx responses", parts, lvl.Errors5xx)
+		}
+		if deg != 0 {
+			t.Errorf("parts=%d: %d degraded answers with all shards healthy", parts, deg)
+		}
+		if lvl.OK+lvl.Shed != lvl.Ops {
+			t.Errorf("parts=%d: ok %d + shed %d != ops %d", parts, lvl.OK, lvl.Shed, lvl.Ops)
+		}
+	}
+}

@@ -155,6 +155,66 @@ func buildData(l graph.NodeID, topN int, vocabLen int,
 	return d
 }
 
+// Subset returns a store holding only the landmarks keep reports true
+// for, in the original insertion order. List data is shared, not copied —
+// the subset is a read-only view sized for one partition worker, the
+// "landmark distribution" of the paper's Section 6: each worker loads the
+// lists of the landmarks placed on its partition and nothing else.
+func (s *Store) Subset(keep func(graph.NodeID) bool) *Store {
+	ns := NewStore(s.vocabLen, s.topN)
+	ns.layoutEpoch = s.layoutEpoch
+	for _, l := range s.order {
+		if keep(l) {
+			ns.Put(s.data[l]) //nolint:errcheck // same vocabLen by construction
+		}
+	}
+	return ns
+}
+
+// SubsetNodes returns a store holding every landmark, with each list
+// filtered to the entries keep reports true for (rank order preserved).
+// This is the candidate-partitioned distribution of the lists: where
+// Subset splits the store by landmark, SubsetNodes splits it by
+// recommended node, so a worker that owns a node partition holds every
+// landmark's contribution to its own candidates and nothing else. The
+// per-worker footprint is the same 1/P of the full store, but the
+// worker's query output covers only owned candidates — disjoint across
+// workers — instead of the full candidate union of its landmarks.
+func (s *Store) SubsetNodes(keep func(graph.NodeID) bool) *Store {
+	ns := NewStore(s.vocabLen, s.topN)
+	ns.layoutEpoch = s.layoutEpoch
+	for _, l := range s.order {
+		d := s.data[l]
+		nd := &Data{Landmark: d.Landmark, Topical: make([]List, len(d.Topical)), Iterations: d.Iterations}
+		for i := range d.Topical {
+			nd.Topical[i] = filterList(d.Topical[i], keep)
+		}
+		nd.TopoTop = filterList(d.TopoTop, keep)
+		ns.Put(nd) //nolint:errcheck // same vocabLen by construction
+	}
+	return ns
+}
+
+func filterList(l List, keep func(graph.NodeID) bool) List {
+	n := 0
+	for _, v := range l.Nodes {
+		if keep(v) {
+			n++
+		}
+	}
+	out := List{
+		Nodes: make([]graph.NodeID, 0, n),
+		Sigma: make([]float64, 0, n),
+		Topo:  make([]float64, 0, n),
+	}
+	for i, v := range l.Nodes {
+		if keep(v) {
+			out.append1(v, l.Sigma[i], l.Topo[i])
+		}
+	}
+	return out
+}
+
 // Truncated returns a copy of the store with every list cut to n entries,
 // used to compare L10/L100/L1000 store sizes (Table 6) without
 // re-running the preprocessing.

@@ -124,5 +124,12 @@ func (s *Server) validateRecommend(req RecommendRequest) (cacheKey, *httpError) 
 		return cacheKey{}, errf(http.StatusBadRequest, CodeUnknownMethod,
 			"unknown method %q (tr, landmark, katz, twitterrank)", method)
 	}
-	return cacheKey{user: graph.NodeID(req.User), topic: t, n: n, method: method}, nil
+	k := cacheKey{user: graph.NodeID(req.User), topic: t, n: n, method: method}
+	if s.router != nil {
+		// Scope the key to the shard tier's cluster epoch: a shard applying
+		// updates changes the key, so stale cached answers become
+		// unreachable instead of wrong.
+		k.shardEpoch = s.router.Epoch()
+	}
+	return k, nil
 }

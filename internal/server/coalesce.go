@@ -18,13 +18,22 @@ type flightKey struct {
 	gen int
 }
 
+// computed is one computation's outcome: the scores plus whether they are
+// a degraded (partial or approximate-fallback) answer. Degraded results
+// are served but never cached — the next identical query should get the
+// exact answer once the cluster recovers.
+type computed struct {
+	scored   []ranking.Scored
+	degraded bool
+}
+
 // flightCall is one in-flight computation plus its eventual result.
 type flightCall struct {
 	done chan struct{}
 	// waiters counts followers currently blocked on done; tests use it to
 	// release a gated leader only after every follower has joined.
 	waiters atomic.Int64
-	scored  []ranking.Scored
+	val     computed
 	err     error
 }
 
@@ -48,9 +57,10 @@ func newCoalescer(cache *resultCache) *coalescer {
 // concurrent identical calls at one cache generation. shared reports
 // whether this caller joined another call's execution instead of running
 // fn itself. The leader writes the result into the cache at the
-// generation the call started under, so a result computed before an
-// update can never be served after it.
-func (c *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]ranking.Scored, error)) (scored []ranking.Scored, shared bool, err error) {
+// generation the call started under — so a result computed before an
+// update can never be served after it — unless the result is degraded,
+// which is served to the coalesced group but not cached.
+func (c *coalescer) do(ctx context.Context, key cacheKey, fn func() (computed, error)) (val computed, shared bool, err error) {
 	gen := c.cache.generation()
 	fk := flightKey{cacheKey: key, gen: gen}
 	c.mu.Lock()
@@ -60,22 +70,22 @@ func (c *coalescer) do(ctx context.Context, key cacheKey, fn func() ([]ranking.S
 		defer call.waiters.Add(-1)
 		select {
 		case <-call.done:
-			return call.scored, true, call.err
+			return call.val, true, call.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return computed{}, true, ctx.Err()
 		}
 	}
 	call := &flightCall{done: make(chan struct{})}
 	c.calls[fk] = call
 	c.mu.Unlock()
 
-	call.scored, call.err = fn()
-	if call.err == nil {
-		c.cache.putAt(key, call.scored, gen)
+	call.val, call.err = fn()
+	if call.err == nil && !call.val.degraded {
+		c.cache.putAt(key, call.val.scored, gen)
 	}
 	c.mu.Lock()
 	delete(c.calls, fk)
 	c.mu.Unlock()
 	close(call.done)
-	return call.scored, false, call.err
+	return call.val, false, call.err
 }

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/authority"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/metrics"
+)
+
+// shardTier spins up real partition workers (over httptest TCP listeners)
+// serving the same dataset testManager builds, and returns the router
+// endpoint groups pointing at them.
+func shardTier(t *testing.T, ds *gen.Dataset, parts int) [][]string {
+	t.Helper()
+	eng, err := core.NewEngine(ds.Graph, authority.Compute(ds.Graph), ds.Sim, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 6, landmark.DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := landmark.Preprocess(eng, lms, landmark.PreprocessConfig{TopN: 100})
+	assign := distrib.ConnectivityPartition(ds.Graph, parts, 3)
+	groups := make([][]string, parts)
+	for p := 0; p < parts; p++ {
+		sub := store.SubsetNodes(func(v graph.NodeID) bool { return assign.Of[v] == p })
+		sh, err := distrib.NewShard(eng, sub, assign, p, lms, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := distrib.NewShardServer(sh, p, parts, distrib.ShardServerConfig{MaxInflight: 2, MaxQueue: 16})
+		srv := httptest.NewServer(ss)
+		t.Cleanup(srv.Close)
+		groups[p] = []string{srv.URL}
+	}
+	return groups
+}
+
+func recommendInto(t *testing.T, base string, q string, out *RecommendResponse) *http.Response {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/recommend?" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", q, resp.StatusCode)
+	}
+	getJSONBody(t, resp, out)
+	return resp
+}
+
+// The end-to-end differential: a router-mode server must answer landmark
+// queries identically (IDs exact, scores to float-merge tolerance) to the
+// same server answering from its local engine.
+func TestRouterMatchesLocalEngine(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, ds := testManager(t, reg)
+	local := newTestHTTP(t, New(mgr, core.DefaultParams().Beta))
+
+	for _, parts := range []int{1, 2, 4} {
+		groups := shardTier(t, ds, parts)
+		router := NewShardRouter(groups, 5*time.Second, 0)
+		// Cache size 0: every request must actually scatter.
+		routed := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+			WithShardRouter(router), WithCacheSize(0)))
+
+		for _, q := range []string{
+			"user=3&topic=technology&n=15",
+			"user=117&topic=sports&n=15",
+			"user=542&topic=politics&n=15",
+		} {
+			var want, got RecommendResponse
+			recommendInto(t, local.URL, q, &want)
+			recommendInto(t, routed.URL, q, &got)
+			if got.Degraded {
+				t.Fatalf("parts=%d %s: full gather marked degraded", parts, q)
+			}
+			if len(got.Results) != len(want.Results) {
+				t.Fatalf("parts=%d %s: %d vs %d results", parts, q, len(got.Results), len(want.Results))
+			}
+			for i := range want.Results {
+				w, g := want.Results[i], got.Results[i]
+				tol := 1e-9 * math.Max(1, math.Abs(w.Score))
+				if g.User != w.User && math.Abs(g.Score-w.Score) > tol {
+					t.Fatalf("parts=%d %s: rank %d user %d (%.12g) vs %d (%.12g)",
+						parts, q, i, g.User, g.Score, w.User, w.Score)
+				}
+				if math.Abs(g.Score-w.Score) > tol {
+					t.Fatalf("parts=%d %s: rank %d score %.12g vs %.12g", parts, q, i, g.Score, w.Score)
+				}
+			}
+		}
+	}
+}
+
+// fakeShard is a scripted shard endpoint for failure-mode tests.
+func fakeShard(t *testing.T, h http.HandlerFunc) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func encodedPartial(shard, parts int, epoch uint64, entries []distrib.PartialEntry) []byte {
+	return distrib.EncodePartial(&distrib.PartialResponse{
+		Shard: shard, Parts: parts, Epoch: epoch, Entries: entries,
+	})
+}
+
+// A shard missing its deadline must leave its share out: the answer is
+// served degraded — and not cached, so the next query retries the shard.
+func TestRouterShardTimeoutDegrades(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, ds := testManager(t, reg)
+	groups := shardTier(t, ds, 2)
+	// Replace shard 1 with one that never answers in time. (The sleep is
+	// capped so test cleanup stays fast even if client-cancellation does
+	// not tear the connection down promptly.)
+	groups[1] = []string{fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+		}
+	})}
+	router := NewShardRouter(groups, 150*time.Millisecond, 0)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	var resp RecommendResponse
+	recommendInto(t, srv.URL, "user=117&topic=sports", &resp)
+	if !resp.Degraded {
+		t.Error("partial gather must be marked degraded")
+	}
+	if resp.Cache != "miss" {
+		t.Errorf("cache %q, want miss", resp.Cache)
+	}
+	if got := reg.Counter("shard_timeouts_total", "").Value(); got == 0 {
+		t.Error("shard_timeouts_total = 0 after a shard deadline miss")
+	}
+	if got := reg.Counter("requests_degraded_total", "").Value(); got != 1 {
+		t.Errorf("requests_degraded_total = %d, want 1", got)
+	}
+
+	// Degraded answers are not cached: the identical query misses again.
+	recommendInto(t, srv.URL, "user=117&topic=sports", &resp)
+	if resp.Cache != "miss" {
+		t.Errorf("second query cache %q, want miss (degraded results must not be cached)", resp.Cache)
+	}
+}
+
+// Every shard shedding means the cluster is saturated: the front end must
+// shed too (429), not burn its local engine.
+func TestRouterAllShardsOverloadedSheds(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	overloaded := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shard overloaded", http.StatusTooManyRequests)
+	})
+	router := NewShardRouter([][]string{{overloaded}, {overloaded}}, time.Second, 0)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	resp, err := http.Get(srv.URL + "/v1/recommend?user=3&topic=technology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := reg.Counter("requests_shed_total", "").Value(); got != 1 {
+		t.Errorf("requests_shed_total = %d, want 1", got)
+	}
+}
+
+// Shards failing for any other reason (crash, 500) drop the front end
+// back onto its local landmark engine — degraded but correct.
+func TestRouterTotalFailureFallsBackLocal(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	broken := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	router := NewShardRouter([][]string{{broken}}, time.Second, 0)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	var routed RecommendResponse
+	recommendInto(t, srv.URL, "user=117&topic=sports&n=10", &routed)
+	if !routed.Degraded {
+		t.Error("local fallback must be marked degraded")
+	}
+	if got := reg.Counter("shard_fallbacks_total", "").Value(); got != 1 {
+		t.Errorf("shard_fallbacks_total = %d, want 1", got)
+	}
+
+	// The fallback must be the local landmark answer.
+	local := newTestHTTP(t, New(mgr, core.DefaultParams().Beta))
+	var want RecommendResponse
+	recommendInto(t, local.URL, "user=117&topic=sports&n=10", &want)
+	if !reflect.DeepEqual(routed.Results, want.Results) {
+		t.Error("fallback results differ from the local landmark answer")
+	}
+}
+
+// A slow primary with a healthy replica: the hedged retry answers within
+// the deadline and the result counts as a clean (cacheable) gather.
+func TestRouterHedgesToReplica(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	entries := []distrib.PartialEntry{{Node: 9, Score: 2.5}, {Node: 4, Score: 1.5}}
+	slow := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	replica := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", distrib.PartialContentType)
+		w.Write(encodedPartial(0, 1, 0, entries)) //nolint:errcheck
+	})
+	router := NewShardRouter([][]string{{slow, replica}}, 2*time.Second, 20*time.Millisecond)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	var resp RecommendResponse
+	recommendInto(t, srv.URL, "user=3&topic=technology&n=5", &resp)
+	if resp.Degraded {
+		t.Error("hedged success must not be degraded")
+	}
+	if len(resp.Results) != 2 || resp.Results[0].User != 9 {
+		t.Fatalf("unexpected results %+v", resp.Results)
+	}
+	if got := reg.Counter("shard_hedges_total", "").Value(); got == 0 {
+		t.Error("shard_hedges_total = 0 after a hedged retry")
+	}
+}
+
+// Cache and coalesce keys carry the cluster epoch: when a shard advances
+// its graph, previously cached answers become unreachable.
+func TestRouterEpochScopesCacheKeys(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	var epoch atomic.Uint64
+	shard := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", distrib.PartialContentType)
+		w.Write(encodedPartial(0, 1, epoch.Load(), //nolint:errcheck
+			[]distrib.PartialEntry{{Node: 7, Score: 1}}))
+	})
+	router := NewShardRouter([][]string{{shard}}, time.Second, 0)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	get := func(q string) string {
+		t.Helper()
+		var resp RecommendResponse
+		recommendInto(t, srv.URL, q, &resp)
+		return resp.Cache
+	}
+	const qa = "user=3&topic=technology"
+	if c := get(qa); c != "miss" {
+		t.Fatalf("first query: cache %q, want miss", c)
+	}
+	// The first scatter taught the router epoch 0 → the second query hits.
+	if c := get(qa); c != "hit" {
+		t.Fatalf("repeat query: cache %q, want hit", c)
+	}
+
+	// The shard applies updates and advances its epoch; the next scatter
+	// (a different query) observes it, after which the old cached answer
+	// is unreachable — the original query misses and recomputes.
+	epoch.Store(1)
+	if c := get("user=4&topic=technology"); c != "miss" {
+		t.Fatalf("other query: cache %q, want miss", c)
+	}
+	if c := get(qa); c != "miss" {
+		t.Fatalf("query after epoch advance: cache %q, want miss (stale key must not hit)", c)
+	}
+}
+
+// getJSONBody decodes an http.Response JSON body.
+func getJSONBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/katz"
@@ -49,11 +50,15 @@ type Server struct {
 	vocab      *topics.Vocabulary
 	beta       float64
 	cache      *resultCache
+	cacheCap   int
 	flight     *coalescer
 	pool       *admission
 	poolCfg    AdmissionConfig
 	reg        *metrics.Registry
 	reqTimeout time.Duration
+	// router, when set, answers landmark-method queries by scatter/gather
+	// over partition workers instead of the local engine.
+	router *ShardRouter
 	// degradeBudget is the static floor of the degradation threshold
 	// (see degrade.go); 0 disables degradation.
 	degradeBudget time.Duration
@@ -119,6 +124,20 @@ func WithDegradeBudget(d time.Duration) Option {
 	return func(s *Server) { s.degradeBudget = d }
 }
 
+// WithShardRouter puts the server in scatter/gather mode: landmark-method
+// queries (including degraded exact-Tr queries) fan out to the router's
+// partition workers and merge exactly; the local engine only answers them
+// when every shard fails.
+func WithShardRouter(r *ShardRouter) Option {
+	return func(s *Server) { s.router = r }
+}
+
+// WithCacheSize overrides the result-cache capacity (default 4096); 0
+// disables result caching.
+func WithCacheSize(n int) Option {
+	return func(s *Server) { s.cacheCap = n }
+}
+
 // New builds a server over a dynamic manager. beta is the Katz decay used
 // for the baseline. Results are served from a small LRU that updates
 // invalidate wholesale. The manager is instrumented into the server's
@@ -128,7 +147,7 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 		mgr:           mgr,
 		vocab:         mgr.Graph().Vocabulary(),
 		beta:          beta,
-		cache:         newResultCache(4096),
+		cacheCap:      4096,
 		reqTimeout:    DefaultRequestTimeout,
 		degradeBudget: DefaultDegradeBudget,
 		poolCfg:       DefaultAdmissionConfig(),
@@ -138,12 +157,16 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	s.cache = newResultCache(s.cacheCap)
 	s.flight = newCoalescer(s.cache)
 	s.pool = newAdmission(s.poolCfg)
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry()
 	}
 	mgr.Instrument(s.reg)
+	if s.router != nil {
+		s.router.instrument(s.reg)
+	}
 	s.httpReqs = s.reg.CounterVec("http_requests_total",
 		"Requests served, by method, route and status code.", "method", "route", "code")
 	s.httpLat = s.reg.HistogramVec("http_request_seconds",
@@ -157,7 +180,7 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 	s.shedReqs = s.reg.Counter("requests_shed_total",
 		"Recommendation requests shed with 429 by admission control.")
 	s.degradedReqs = s.reg.Counter("requests_degraded_total",
-		"Exact-Tr requests degraded to the landmark approximation.")
+		"Requests served with a degraded answer (landmark fallback or partial shard gather).")
 	s.timeouts = s.reg.Counter("request_timeouts_total",
 		"Recommendation requests cancelled by the per-request deadline.")
 	s.rebuilds = s.reg.CounterVec("baseline_rebuilds_total",
@@ -374,7 +397,6 @@ func (s *Server) serveRecommend(ctx context.Context, key cacheKey) (*RecommendRe
 		// plain landmark queries share work in both directions.
 		effKey.method = "landmark"
 		degraded = true
-		s.degradedReqs.Inc()
 	}
 
 	scored, cached := s.cache.get(effKey)
@@ -384,12 +406,15 @@ func (s *Server) serveRecommend(ctx context.Context, key cacheKey) (*RecommendRe
 	} else {
 		var shared bool
 		var err error
-		scored, shared, err = s.flight.do(ctx, effKey, func() ([]ranking.Scored, error) {
+		var res computed
+		res, shared, err = s.flight.do(ctx, effKey, func() (computed, error) {
 			return s.compute(ctx, effKey)
 		})
 		if err != nil {
 			return nil, s.computeError(key.method, err)
 		}
+		scored = res.scored
+		degraded = degraded || res.degraded
 		if shared {
 			source = "coalesced"
 			s.coalesceHits.Inc()
@@ -397,6 +422,12 @@ func (s *Server) serveRecommend(ctx context.Context, key cacheKey) (*RecommendRe
 			source = "miss"
 			s.cacheMisses.Inc()
 		}
+	}
+	if degraded {
+		// Counted here — on a successfully served degraded answer — not at
+		// decision time, so requests that are subsequently shed or time out
+		// don't inflate the series.
+		s.degradedReqs.Inc()
 	}
 
 	g := s.mgr.Graph()
@@ -419,34 +450,67 @@ func (s *Server) serveRecommend(ctx context.Context, key cacheKey) (*RecommendRe
 }
 
 // compute runs the underlying engine for one validated query. It is the
-// only path that touches the exploration engines, and it runs under the
-// admission pool: when every slot is busy and the queue is full the
-// query is shed with errOverloaded before any engine work starts.
-func (s *Server) compute(ctx context.Context, key cacheKey) ([]ranking.Scored, error) {
+// only path that touches the exploration engines. Local computations run
+// under the admission pool: when every slot is busy and the queue is full
+// the query is shed with errOverloaded before any engine work starts.
+// Scattered computations are not pool-gated — they are I/O-bound waits,
+// and each partition worker bounds its own compute with shard-side
+// admission (the resource-constrained per-shard view), so the front end
+// can keep as many gathers in flight as shards can absorb.
+func (s *Server) compute(ctx context.Context, key cacheKey) (computed, error) {
+	if s.router != nil && key.method == "landmark" && s.computeHook == nil {
+		return s.computeSharded(ctx, key)
+	}
 	if err := s.pool.acquire(ctx); err != nil {
-		return nil, err
+		return computed{}, err
 	}
 	defer s.pool.release()
 	if s.computeHook != nil {
-		return s.computeHook(ctx, key)
+		scored, err := s.computeHook(ctx, key)
+		return computed{scored: scored}, err
 	}
 	switch key.method {
 	case "landmark":
-		return s.mgr.Recommend(key.user, key.topic, key.n)
+		scored, err := s.mgr.Recommend(key.user, key.topic, key.n)
+		return computed{scored: scored}, err
 	case "tr":
 		t0 := time.Now()
 		scored, err := s.mgr.RecommendExactCtx(ctx, key.user, key.topic, key.n)
 		if err == nil {
 			s.trLat.observe(time.Since(t0))
 		}
-		return scored, err
+		return computed{scored: scored}, err
 	default: // katz, twitterrank — validated upstream
 		rec, err := s.baseline(key.method)
 		if err != nil {
-			return nil, err
+			return computed{}, err
 		}
-		return rec.Recommend(key.user, key.topic, key.n), nil
+		return computed{scored: rec.Recommend(key.user, key.topic, key.n)}, nil
 	}
+}
+
+// computeSharded answers one landmark query by scatter/gather. All shards
+// answering means the Proposition 2 merge is the exact single-machine
+// result; a partial gather is served degraded (and not cached); a cluster
+// that is uniformly overloaded sheds the request like local admission
+// would; any other total failure falls back to the local landmark engine,
+// degraded, under the local pool.
+func (s *Server) computeSharded(ctx context.Context, key cacheKey) (computed, error) {
+	g := s.router.Gather(ctx, key.user, key.topic)
+	if g.failed < s.router.Shards() {
+		scored := distrib.Merge(g.partials, key.user, key.n)
+		return computed{scored: scored, degraded: g.failed > 0}, nil
+	}
+	if g.overloaded == g.failed {
+		return computed{}, errOverloaded
+	}
+	s.router.fallbacks.Inc()
+	if err := s.pool.acquire(ctx); err != nil {
+		return computed{}, err
+	}
+	defer s.pool.release()
+	scored, err := s.mgr.Recommend(key.user, key.topic, key.n)
+	return computed{scored: scored, degraded: true}, err
 }
 
 // computeError maps a computation failure onto the error envelope.
