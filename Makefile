@@ -20,7 +20,7 @@ test:
 # permutation boundary and the float32 kernel are race-checked on every
 # check too; a full -race run over the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/...
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/... ./internal/store/...
 
 .PHONY: race-all
 race-all:
@@ -77,6 +77,15 @@ bench-serve:
 bench-shard:
 	$(GO) run ./cmd/trbench -exp bench-shard -tw-nodes 16000 -landmarks 240 -store-topn 4000 -bench-out BENCH_shard.json
 
+# bench-store measures the out-of-core storage tier and rewrites
+# BENCH_store.json: TRG2 mmap cold-start against the legacy TRG1 heap
+# load at a 1M-node trgen graph, WAL append throughput per sync policy,
+# and the small-graph crash-recovery differential (snapshot + landmark
+# store + WAL tail must serve bit-identical rankings).
+.PHONY: bench-store
+bench-store:
+	$(GO) run ./cmd/trbench -exp bench-store -tw-nodes 1000000 -tw-avgout 8 -bench-out BENCH_store.json
+
 # bench-kernel compares the seed dense exploration against the
 # cache-topology-aware float32 kernel under both relabeling orders and
 # rewrites BENCH_kernel.json (it also re-verifies the kernel's Kendall
@@ -85,12 +94,19 @@ bench-shard:
 bench-kernel:
 	$(GO) run ./cmd/trbench -exp bench-kernel -bench-out BENCH_kernel.json
 
-# fuzz smoke-runs the equivalence fuzzers: random edge deltas must leave
-# the overlay observationally identical to a full rebuild, and random
-# graphs must survive a relabeling round trip unchanged.
+# fuzz smoke-runs the equivalence fuzzers (random edge deltas must leave
+# the overlay observationally identical to a full rebuild; random graphs
+# must survive a relabeling round trip unchanged) and the storage-format
+# fuzzers: arbitrary snapshot/landmark/WAL/TRG1 bytes must decode or
+# error, never panic, index outside the mapping, or yield a forged batch.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzOverlayEquivalence -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzRelabelEquivalence -fuzztime=10s ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzReadPermutation -fuzztime=10s ./internal/graph/
+	$(GO) test -run='^$$' -fuzz=FuzzReadStore -fuzztime=10s ./internal/landmark/
+	$(GO) test -run='^$$' -fuzz=FuzzOpenSnapshot -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzOpenLandmarks -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzScanWAL -fuzztime=10s ./internal/store/
 
 .PHONY: bench-all
 bench-all:

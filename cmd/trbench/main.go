@@ -67,7 +67,7 @@ func main() {
 	// reproducing a paper artifact; they print the comparison and write
 	// the machine-readable result next to the repository's other
 	// committed benchmark files.
-	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" {
+	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" || *exp == "bench-store" {
 		var (
 			res interface{ String() string }
 			err error
@@ -98,6 +98,11 @@ func main() {
 			res, err = r.BenchShard()
 			if out == "" {
 				out = "BENCH_shard.json"
+			}
+		case "bench-store":
+			res, err = r.BenchStore()
+			if out == "" {
+				out = "BENCH_store.json"
 			}
 		}
 		if err != nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/store"
 	"repro/internal/textgen"
 	"repro/internal/topics"
 )
@@ -25,6 +26,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		pipeline = flag.Bool("pipeline", false, "relabel through the synthetic-corpus classification pipeline")
 		save     = flag.String("save", "", "write the labeled graph to this file (loadable by trserver -load)")
+		saveSnap = flag.String("save-snapshot", "", "write the labeled graph as a TRG2 snapshot (mmap'd zero-copy by trserver/trshard -snapshot)")
+		snapLay  = flag.String("snapshot-layout", "", "embed a cache-layout permutation in the snapshot: degree or bfs (empty = none)")
 	)
 	flag.Parse()
 
@@ -85,6 +88,26 @@ func main() {
 			log.Fatalf("saving %s: %v", *save, err)
 		}
 		fmt.Printf("wrote %s (%d bytes)\n\n", *save, n)
+	}
+
+	if *saveSnap != "" {
+		var perm *graph.Permutation
+		switch *snapLay {
+		case "":
+		case "degree":
+			p := graph.NewPermutation(graph.DegreeOrder, g)
+			perm = &p
+		case "bfs":
+			p := graph.NewPermutation(graph.BFSOrder, g)
+			perm = &p
+		default:
+			log.Fatalf("trgen: unknown -snapshot-layout %q (degree, bfs)", *snapLay)
+		}
+		n, err := store.WriteSnapshotFile(*saveSnap, g, perm)
+		if err != nil {
+			log.Fatalf("saving snapshot %s: %v", *saveSnap, err)
+		}
+		fmt.Printf("wrote snapshot %s (%d bytes)\n\n", *saveSnap, n)
 	}
 
 	fmt.Printf("dataset %s (seed %d)\n\n", ds.Name, *seed)

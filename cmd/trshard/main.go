@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/landmark"
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/topics"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		nodes       = flag.Int("nodes", 8000, "accounts in the generated graph (ignored with -load)")
 		seed        = flag.Uint64("seed", 1, "dataset seed")
 		load        = flag.String("load", "", "load a graph written by trgen -save instead of generating")
+		snapPath    = flag.String("snapshot", "", "mmap a TRG2 snapshot written by trgen -save-snapshot instead of generating (zero-copy cold start; same file on every worker)")
 		shard       = flag.Int("shard", 0, "this worker's partition index in [0, shards)")
 		shards      = flag.Int("shards", 1, "total partition count of the deployment")
 		partitioner = flag.String("partitioner", "conn", "node partitioner: hash, conn")
@@ -58,7 +60,17 @@ func main() {
 
 	var g *graph.Graph
 	var sim *topics.SimMatrix
-	if *load != "" {
+	if *snapPath != "" {
+		openStart := time.Now()
+		snap, err := store.OpenSnapshot(*snapPath, store.OpenOptions{})
+		if err != nil {
+			log.Fatalf("opening snapshot %s: %v", *snapPath, err)
+		}
+		g = snap.Graph()
+		sim = topics.TaxonomyFor(g.Vocabulary()).SimMatrix()
+		log.Printf("mapped %s zero-copy: %d nodes / %d edges in %s",
+			*snapPath, g.NumNodes(), g.NumEdges(), time.Since(openStart).Round(time.Microsecond))
+	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			log.Fatal(err)

@@ -40,6 +40,7 @@ import (
 	"repro/internal/landmark"
 	"repro/internal/metrics"
 	"repro/internal/ranking"
+	"repro/internal/store"
 	"repro/internal/topics"
 )
 
@@ -120,6 +121,33 @@ type Config struct {
 	// LayoutOrder picks the relabeling order when OptimizeLayout is
 	// set. The zero value is graph.DegreeOrder.
 	LayoutOrder graph.Order
+	// WAL, when non-nil, makes Apply durable: every batch is appended to
+	// the log as a CRC-framed record — after overlay validation, before
+	// the new epoch installs — so a crash loses at most the batch being
+	// acknowledged (none under store.SyncAlways). Replay feeds recovered
+	// batches back through the same apply path without re-logging them.
+	WAL *store.WAL
+	// SnapshotPath, when non-empty, gives compaction a durable form:
+	// each time the overlay stack folds into a fresh frozen graph, the
+	// graph is also written there as a TRG2 snapshot (atomic
+	// temp+rename) and the WAL is truncated — the logged batches are
+	// redundant once the snapshot that contains them is published. A
+	// failed snapshot write is absorbed like a failed refresh: the
+	// in-memory epoch still installs, the WAL keeps its records, and the
+	// next compaction retries.
+	SnapshotPath string
+	// LandmarkPath, when non-empty, persists the landmark store (LMK3,
+	// atomic) alongside each graph snapshot. Recovering with both — the
+	// snapshot graph, the persisted store via InitialStore, then a WAL
+	// replay — restores rankings bit-identical to the pre-crash manager,
+	// including the landmark lists' refresh history, which a fresh
+	// preprocessing over the snapshot graph would not reproduce.
+	LandmarkPath string
+	// InitialStore, when non-nil, is adopted as the landmark store
+	// instead of preprocessing one at construction — the recovery path
+	// for a store persisted via LandmarkPath. The caller must pass the
+	// lms the store was built for.
+	InitialStore *landmark.Store
 }
 
 // Stats counts the maintenance work done.
@@ -159,6 +187,17 @@ type Stats struct {
 	// engine is relabeled. The landmark store carries the generation it
 	// was preprocessed under (landmark.Store.LayoutEpoch).
 	LayoutEpoch uint64
+	// WALAppends counts batches made durable before applying.
+	WALAppends int
+	// WALReplayed counts batches recovered from the log at boot.
+	WALReplayed int
+	// SnapshotWrites counts compactions persisted as TRG2 snapshots
+	// (each followed by a WAL truncation).
+	SnapshotWrites int
+	// SnapshotFailures counts snapshot or WAL-truncate failures
+	// (absorbed: the epoch installed, durability degraded until the next
+	// compaction retries).
+	SnapshotFailures int
 }
 
 // Manager maintains a queryable recommendation state under updates.
@@ -196,15 +235,19 @@ type Manager struct {
 	// Instrumentation: nil registry means no recording. The counters are
 	// resolved once at Instrument time so Apply's hot path is pure
 	// atomics.
-	reg           *metrics.Registry
-	mBatches      *metrics.Counter
-	mEdgesAdded   *metrics.Counter
-	mEdgesRemoved *metrics.Counter
-	mRefreshes    *metrics.Counter
-	mRefreshFails *metrics.Counter
-	mRefreshDefer *metrics.Counter
-	mCompactions  *metrics.Counter
-	mRelayouts    *metrics.Counter
+	reg             *metrics.Registry
+	mBatches        *metrics.Counter
+	mEdgesAdded     *metrics.Counter
+	mEdgesRemoved   *metrics.Counter
+	mRefreshes      *metrics.Counter
+	mRefreshFails   *metrics.Counter
+	mRefreshDefer   *metrics.Counter
+	mCompactions    *metrics.Counter
+	mRelayouts      *metrics.Counter
+	mWALAppends     *metrics.Counter
+	mWALReplayed    *metrics.Counter
+	mSnapshotWrites *metrics.Counter
+	mSnapshotFails  *metrics.Counter
 }
 
 // NewManager preprocesses the initial graph and landmark set.
@@ -242,9 +285,16 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	}
 	m.pool = core.NewScratchPoolFor(m.eng)
 	m.Instrument(cfg.Metrics)
-	store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics, Pool: m.pool})
-	store.SetLayoutEpoch(m.stats.LayoutEpoch)
-	m.store = store
+	if cfg.InitialStore != nil {
+		// Recovery path: adopt the persisted store as-is. Its lists carry
+		// the pre-crash refresh history; the WAL replay that follows
+		// re-runs exactly the refreshes the logged batches triggered.
+		m.store = cfg.InitialStore
+	} else {
+		store, _ := landmark.Preprocess(m.eng, m.lms, landmark.PreprocessConfig{TopN: cfg.StoreTopN, Metrics: cfg.Metrics, Pool: m.pool})
+		store.SetLayoutEpoch(m.stats.LayoutEpoch)
+		m.store = store
+	}
 	return m, nil
 }
 
@@ -275,6 +325,10 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mRefreshDefer = reg.Counter("dynamic_refresh_deferred_total", "Refresh opportunities skipped while backing off after a failure.")
 	m.mCompactions = reg.Counter("dynamic_compactions_total", "Overlay stacks folded back into a fresh frozen graph.")
 	m.mRelayouts = reg.Counter("dynamic_relayouts_total", "Engine re-optimizations into the cache-aware node layout.")
+	m.mWALAppends = reg.Counter("dynamic_wal_appends_total", "Update batches made durable in the write-ahead log before applying.")
+	m.mWALReplayed = reg.Counter("dynamic_wal_replayed_total", "Update batches recovered from the write-ahead log at boot.")
+	m.mSnapshotWrites = reg.Counter("dynamic_snapshot_writes_total", "Compactions persisted as TRG2 snapshots (WAL truncated after each).")
+	m.mSnapshotFails = reg.Counter("dynamic_snapshot_failures_total", "Snapshot or WAL-truncate failures (absorbed; retried at the next compaction).")
 	m.mBatches.Add(uint64(st.Batches))
 	m.mEdgesAdded.Add(uint64(st.EdgesAdded))
 	m.mEdgesRemoved.Add(uint64(st.EdgesRemoved))
@@ -283,6 +337,11 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	m.mRefreshDefer.Add(uint64(st.RefreshDeferred))
 	m.mCompactions.Add(uint64(st.Compactions))
 	m.mRelayouts.Add(uint64(st.Relayouts))
+	m.mWALAppends.Add(uint64(st.WALAppends))
+	m.mWALReplayed.Add(uint64(st.WALReplayed))
+	m.mSnapshotWrites.Add(uint64(st.SnapshotWrites))
+	m.mSnapshotFails.Add(uint64(st.SnapshotFailures))
+	wal := m.cfg.WAL
 	nLms := len(m.lms)
 	m.mu.Unlock()
 	reg.GaugeFunc("dynamic_stale_landmarks",
@@ -300,6 +359,14 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("dynamic_layout_epoch",
 		"Current cache-aware layout generation (0 = seed node order).",
 		func() float64 { return float64(m.Stats().LayoutEpoch) })
+	if wal != nil {
+		reg.GaugeFunc("dynamic_wal_bytes",
+			"Current write-ahead log length (truncated at each persisted compaction).",
+			func() float64 { return float64(wal.Size()) })
+		reg.GaugeFunc("dynamic_wal_records",
+			"Update batches currently held by the write-ahead log.",
+			func() float64 { return float64(wal.Records()) })
+	}
 }
 
 // rebuildEngine recomputes the authority table and engine from scratch
@@ -393,6 +460,16 @@ type Update struct {
 func (m *Manager) Apply(batch []Update) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.applyLocked(batch, true)
+}
+
+// applyLocked is Apply under mu. durable controls the storage tier:
+// live batches are WAL-appended before their epoch installs and persist
+// compactions as snapshots; replayed batches (already in the log) do
+// neither — in particular a replay-triggered compaction must not
+// truncate the WAL, because the batches still pending replay exist
+// nowhere else.
+func (m *Manager) applyLocked(batch []Update, durable bool) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -400,21 +477,39 @@ func (m *Manager) Apply(batch []Update) error {
 	for _, up := range batch {
 		if up.Add {
 			adds = append(adds, up.Edge)
-			m.stats.EdgesAdded++
-			if m.mEdgesAdded != nil {
-				m.mEdgesAdded.Inc()
-			}
 		} else {
 			removes = append(removes, up.Edge)
-			m.stats.EdgesRemoved++
-			if m.mEdgesRemoved != nil {
-				m.mEdgesRemoved.Inc()
-			}
 		}
 	}
 	ov, err := graph.NewOverlay(m.view, adds, removes)
 	if err != nil {
 		return fmt.Errorf("dynamic: applying batch: %w", err)
+	}
+	// Write-ahead point: the overlay validated, so the batch will apply;
+	// log it before installing anything. A failed append rejects the
+	// batch outright — the in-memory state must never run ahead of the
+	// log it claims to be recoverable from.
+	if durable && m.cfg.WAL != nil {
+		if err := m.cfg.WAL.Append(DeltasFromUpdates(batch)); err != nil {
+			return fmt.Errorf("dynamic: wal append: %w", err)
+		}
+		m.stats.WALAppends++
+		if m.mWALAppends != nil {
+			m.mWALAppends.Inc()
+		}
+	}
+	for _, up := range batch {
+		if up.Add {
+			m.stats.EdgesAdded++
+			if m.mEdgesAdded != nil {
+				m.mEdgesAdded.Inc()
+			}
+		} else {
+			m.stats.EdgesRemoved++
+			if m.mEdgesRemoved != nil {
+				m.mEdgesRemoved.Inc()
+			}
+		}
 	}
 	m.view = ov
 	m.stats.Epoch++
@@ -443,9 +538,19 @@ func (m *Manager) Apply(batch []Update) error {
 	// or its accumulated delta is a large fraction of the bottom graph.
 	// This is the only full rebuild on the update path, and at most one
 	// happens per batch.
+	compacted := false
 	if ov.Depth() >= m.cfg.CompactDepth ||
 		float64(ov.DeltaEdges()) >= m.cfg.CompactFraction*float64(ov.Bottom().NumEdges()) {
 		m.view = ov.Compact()
+		// Compaction doubles as the paper's periodic authority refresh:
+		// a full recompute lowers any per-topic maxima the incremental
+		// path kept as stale upper bounds. It also pins the recovery
+		// contract — a manager booted from this compaction's snapshot
+		// computes authority fresh over the same graph and lands on the
+		// bit-identical table.
+		if m.auth != nil {
+			m.auth.Recompute(m.view)
+		}
 		eng, err := m.eng.Derive(m.view, m.auth)
 		if err != nil {
 			return err
@@ -462,6 +567,7 @@ func (m *Manager) Apply(batch []Update) error {
 		if err := m.optimizeLocked(); err != nil {
 			return err
 		}
+		compacted = true
 	}
 	m.stats.Batches++
 	if m.mBatches != nil {
@@ -484,7 +590,108 @@ func (m *Manager) Apply(batch []Update) error {
 			m.tryRefreshLocked(m.staleList())
 		}
 	}
+
+	// Durable form of the compaction: publish the folded graph (and the
+	// landmark store) as fresh snapshots, then drop the batches they
+	// absorbed from the log. Deliberately last — after this batch's
+	// landmark refreshes — so the persisted store carries the refresh
+	// history up to and including the batch the snapshot covers.
+	if compacted && durable {
+		m.persistSnapshotLocked()
+	}
 	return nil
+}
+
+// persistSnapshotLocked writes the current frozen view to
+// Config.SnapshotPath (atomic temp+rename) and truncates the WAL.
+// Failures are absorbed — durability degrades until the next compaction
+// retries, but the serving path never fails a batch over a disk error
+// after its epoch installed. Caller holds mu; the view must be a frozen
+// *graph.Graph (it is, right after a compaction).
+func (m *Manager) persistSnapshotLocked() {
+	if m.cfg.SnapshotPath == "" {
+		return
+	}
+	g, ok := m.view.(*graph.Graph)
+	if !ok {
+		return
+	}
+	if _, err := store.WriteSnapshotFile(m.cfg.SnapshotPath, g, nil); err != nil {
+		m.stats.SnapshotFailures++
+		if m.mSnapshotFails != nil {
+			m.mSnapshotFails.Inc()
+		}
+		return
+	}
+	// The landmark store travels with the graph: recovery needs both to
+	// reproduce rankings exactly (a re-preprocessed store would lack the
+	// refresh history). Written before the truncate for the same reason
+	// the snapshot is — the log may only shrink once every durable piece
+	// of the state it covers is published.
+	if m.cfg.LandmarkPath != "" {
+		if _, err := store.WriteLandmarksFile(m.cfg.LandmarkPath, m.store); err != nil {
+			m.stats.SnapshotFailures++
+			if m.mSnapshotFails != nil {
+				m.mSnapshotFails.Inc()
+			}
+			return
+		}
+	}
+	m.stats.SnapshotWrites++
+	if m.mSnapshotWrites != nil {
+		m.mSnapshotWrites.Inc()
+	}
+	if m.cfg.WAL != nil {
+		if err := m.cfg.WAL.Truncate(); err != nil {
+			// The snapshot is live but the log kept its records: replay
+			// would double-apply. Count it loudly; the next compaction's
+			// truncate retry resolves it.
+			m.stats.SnapshotFailures++
+			if m.mSnapshotFails != nil {
+				m.mSnapshotFails.Inc()
+			}
+		}
+	}
+}
+
+// Replay feeds batches recovered from a WAL (store.OpenWAL's second
+// result) back through the apply path without re-logging them, restoring
+// the exact pre-crash state: same overlays, same epochs, same refresh
+// decisions — so post-recovery rankings are bit-identical to the state
+// that logged the batches. It returns the number of batches applied; a
+// failing batch aborts the replay (the snapshot/WAL pair is inconsistent
+// with the loaded graph, which recovery must surface, not skip).
+func (m *Manager) Replay(batches [][]store.EdgeDelta) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, b := range batches {
+		if err := m.applyLocked(UpdatesFromDeltas(b), false); err != nil {
+			return i, fmt.Errorf("dynamic: replaying batch %d of %d: %w", i, len(batches), err)
+		}
+		m.stats.WALReplayed++
+		if m.mWALReplayed != nil {
+			m.mWALReplayed.Inc()
+		}
+	}
+	return len(batches), nil
+}
+
+// DeltasFromUpdates converts a batch to its WAL payload form.
+func DeltasFromUpdates(batch []Update) []store.EdgeDelta {
+	out := make([]store.EdgeDelta, len(batch))
+	for i, up := range batch {
+		out[i] = store.EdgeDelta{Src: up.Edge.Src, Dst: up.Edge.Dst, Label: up.Edge.Label, Add: up.Add}
+	}
+	return out
+}
+
+// UpdatesFromDeltas converts recovered WAL payloads back to updates.
+func UpdatesFromDeltas(ds []store.EdgeDelta) []Update {
+	out := make([]Update, len(ds))
+	for i, d := range ds {
+		out[i] = Update{Edge: graph.Edge{Src: d.Src, Dst: d.Dst, Label: d.Label}, Add: d.Add}
+	}
+	return out
 }
 
 func (m *Manager) staleList() []graph.NodeID {

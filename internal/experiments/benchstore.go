@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/store"
+	"repro/internal/topics"
+)
+
+// BenchStoreColdStart is one measured way of getting the graph served
+// after a restart.
+type BenchStoreColdStart struct {
+	// Name is "trg1-read" (the legacy heap deserialization), "trg2-mmap"
+	// (the zero-copy snapshot open) or "trg2-mmap-verify" (same, plus the
+	// deep CRC + invariant pass).
+	Name string
+	// WallNs is one open, file to usable graph.
+	WallNs int64
+	// AllocsPerOpen and BytesPerOpen are testing.Benchmark's
+	// per-iteration memory numbers: the mmap path must not materialize a
+	// heap CSR.
+	AllocsPerOpen int64
+	BytesPerOpen  int64
+}
+
+// BenchStoreWAL is the append throughput under one sync policy.
+type BenchStoreWAL struct {
+	Policy         string
+	DeltasPerBatch int
+	// BatchNs is one durable append (encode + write + fsync per policy).
+	BatchNs int64
+	// BatchesPerSec and MBPerSec are the derived rates.
+	BatchesPerSec float64
+	MBPerSec      float64
+}
+
+// BenchStoreResult measures the out-of-core storage tier: cold-start
+// latency of the mmap snapshot against the legacy heap load at trgen
+// scale, WAL append throughput per sync policy, and a crash-recovery
+// differential on a small graph. Written to BENCH_store.json by
+// `trbench -exp bench-store`.
+type BenchStoreResult struct {
+	Experiment string
+	// Nodes and Edges describe the benchmarked graph (-tw-nodes sizes
+	// it; the committed run uses 1M nodes).
+	Nodes, Edges int
+	// TRG1Bytes and TRG2Bytes are the two on-disk footprints.
+	TRG1Bytes, TRG2Bytes int64
+	ColdStart            []BenchStoreColdStart
+	// MmapSpeedup is trg1-read wall over trg2-mmap wall: the cold-start
+	// win of opening instead of loading.
+	MmapSpeedup float64
+	WAL         []BenchStoreWAL
+	// RecoveryIdentical confirms the crash drill: a manager rebooted
+	// from snapshot + landmark store + WAL tail served bit-identical
+	// landmark and exact rankings to the pre-crash one.
+	RecoveryIdentical bool
+}
+
+// BenchStore times the storage tier end to end.
+func (r *Runner) BenchStore() (*BenchStoreResult, error) {
+	tw, err := r.TwitterDataset()
+	if err != nil {
+		return nil, err
+	}
+	g := tw.Graph
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+
+	trg1 := filepath.Join(dir, "graph.trg1")
+	f, err := os.Create(trg1)
+	if err != nil {
+		return nil, err
+	}
+	trg1Bytes, err := g.WriteTo(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	trg2 := filepath.Join(dir, "graph.trg2")
+	trg2Bytes, err := store.WriteSnapshotFile(trg2, g, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &BenchStoreResult{
+		Experiment: "bench-store",
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		TRG1Bytes:  trg1Bytes,
+		TRG2Bytes:  trg2Bytes,
+	}
+
+	var benchErr error
+	coldStart := func(name string, open func() error) (BenchStoreColdStart, error) {
+		bres := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := open(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return BenchStoreColdStart{}, benchErr
+		}
+		return BenchStoreColdStart{
+			Name:          name,
+			WallNs:        bres.NsPerOp(),
+			AllocsPerOpen: int64(bres.AllocsPerOp()),
+			BytesPerOpen:  bres.AllocedBytesPerOp(),
+		}, nil
+	}
+	openTRG1 := func() error {
+		f, err := os.Open(trg1)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lg, err := graph.ReadGraph(f)
+		if err != nil {
+			return err
+		}
+		if lg.NumEdges() != g.NumEdges() {
+			return fmt.Errorf("trg1 load dropped edges")
+		}
+		return nil
+	}
+	openTRG2 := func(verify bool) func() error {
+		return func() error {
+			s, err := store.OpenSnapshot(trg2, store.OpenOptions{Verify: verify})
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			if s.Graph().NumEdges() != g.NumEdges() {
+				return fmt.Errorf("trg2 open dropped edges")
+			}
+			return nil
+		}
+	}
+	for _, side := range []struct {
+		name string
+		open func() error
+	}{
+		{"trg1-read", openTRG1},
+		{"trg2-mmap", openTRG2(false)},
+		{"trg2-mmap-verify", openTRG2(true)},
+	} {
+		cs, err := coldStart(side.name, side.open)
+		if err != nil {
+			return nil, err
+		}
+		res.ColdStart = append(res.ColdStart, cs)
+	}
+	if res.ColdStart[1].WallNs > 0 {
+		res.MmapSpeedup = float64(res.ColdStart[0].WallNs) / float64(res.ColdStart[1].WallNs)
+	}
+
+	const deltasPerBatch = 64
+	batch := make([]store.EdgeDelta, deltasPerBatch)
+	for i := range batch {
+		batch[i] = store.EdgeDelta{
+			Src:   graph.NodeID(i),
+			Dst:   graph.NodeID(i + 1),
+			Label: topics.NewSet(topics.ID(i % g.Vocabulary().Len())),
+			Add:   true,
+		}
+	}
+	batchBytes := float64(16 + 4 + deltasPerBatch*13)
+	for _, policy := range []store.SyncPolicy{store.SyncOS, store.SyncAlways} {
+		w, _, err := store.OpenWAL(filepath.Join(dir, "bench-"+policy.String()+".wal"), policy)
+		if err != nil {
+			return nil, err
+		}
+		bres := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(batch); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if cerr := w.Close(); cerr != nil && benchErr == nil {
+			benchErr = cerr
+		}
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		ns := bres.NsPerOp()
+		res.WAL = append(res.WAL, BenchStoreWAL{
+			Policy:         policy.String(),
+			DeltasPerBatch: deltasPerBatch,
+			BatchNs:        ns,
+			BatchesPerSec:  1e9 / float64(ns),
+			MBPerSec:       batchBytes * 1e9 / float64(ns) / (1 << 20),
+		})
+	}
+
+	ok, err := recoveryDifferential(dir, r.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.RecoveryIdentical = ok
+	return res, nil
+}
+
+// recoveryDifferential runs the crash drill on a small graph: a durable
+// manager applies batches through compactions, "crashes", and a second
+// manager boots from snapshot + landmark store + WAL tail. Both must
+// serve bit-identical rankings.
+func recoveryDifferential(dir string, seed uint64) (bool, error) {
+	ds := gen.RandomWith(200, 2400, seed)
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, 8, landmark.DefaultSelectConfig())
+	if err != nil {
+		return false, err
+	}
+	snapPath := filepath.Join(dir, "rec.trg2")
+	lmkPath := filepath.Join(dir, "rec.lmk3")
+	walPath := filepath.Join(dir, "rec.wal")
+	cfg := func(w *store.WAL) dynamic.Config {
+		return dynamic.Config{
+			Params:          core.DefaultParams(),
+			Sim:             ds.Sim,
+			StoreTopN:       100,
+			QueryDepth:      2,
+			Strategy:        dynamic.Eager,
+			CompactDepth:    3,
+			CompactFraction: 1000, // depth-driven compaction only
+			WAL:             w,
+			SnapshotPath:    snapPath,
+			LandmarkPath:    lmkPath,
+		}
+	}
+	w, _, err := store.OpenWAL(walPath, store.SyncAlways)
+	if err != nil {
+		return false, err
+	}
+	live, err := dynamic.NewManager(ds.Graph, lms, cfg(w))
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < 8; i++ {
+		batch := []dynamic.Update{
+			{Edge: graph.Edge{Src: graph.NodeID(i * 5 % 200), Dst: graph.NodeID((i*17 + 3) % 200), Label: topics.NewSet(topics.ID(i % 3))}, Add: true},
+			{Edge: graph.Edge{Src: graph.NodeID((i*9 + 1) % 200), Dst: graph.NodeID((i*23 + 7) % 200), Label: topics.NewSet(topics.ID((i + 1) % 3))}, Add: true},
+		}
+		if err := live.Apply(batch); err != nil {
+			return false, err
+		}
+	}
+	// Crash: nothing closed. Recover from the persisted artifacts.
+	snap, err := store.OpenSnapshot(snapPath, store.OpenOptions{Verify: true})
+	if err != nil {
+		return false, err
+	}
+	defer snap.Close()
+	lmks, err := store.OpenLandmarks(lmkPath, store.OpenOptions{Verify: true})
+	if err != nil {
+		return false, err
+	}
+	defer lmks.Close()
+	w2, tail, err := store.OpenWAL(walPath, store.SyncAlways)
+	if err != nil {
+		return false, err
+	}
+	defer w2.Close()
+	rcfg := cfg(w2)
+	rcfg.InitialStore = lmks.Store()
+	reborn, err := dynamic.NewManager(snap.Graph(), lms, rcfg)
+	if err != nil {
+		return false, err
+	}
+	if _, err := reborn.Replay(tail); err != nil {
+		return false, err
+	}
+	for _, u := range []graph.NodeID{0, 11, 42, 137} {
+		for _, tp := range []topics.ID{0, 1, 2} {
+			wl, err := live.Recommend(u, tp, 10)
+			if err != nil {
+				return false, err
+			}
+			gl, err := reborn.Recommend(u, tp, 10)
+			if err != nil {
+				return false, err
+			}
+			if len(wl) != len(gl) {
+				return false, nil
+			}
+			for i := range wl {
+				if wl[i] != gl[i] {
+					return false, nil
+				}
+			}
+			we := live.RecommendExact(u, tp, 10)
+			ge := reborn.RecommendExact(u, tp, 10)
+			if len(we) != len(ge) {
+				return false, nil
+			}
+			for i := range we {
+				if we[i] != ge[i] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// String renders the cold-start comparison, the WAL rates and the drill
+// verdict.
+func (b *BenchStoreResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "storage tier: %d nodes, %d edges (trg1 %d MB, trg2 %d MB)\n",
+		b.Nodes, b.Edges, b.TRG1Bytes/(1<<20), b.TRG2Bytes/(1<<20))
+	for _, cs := range b.ColdStart {
+		fmt.Fprintf(&sb, "%-18s wall %-14s %10d allocs/open %12d B/open\n",
+			cs.Name, time.Duration(cs.WallNs).Round(time.Microsecond), cs.AllocsPerOpen, cs.BytesPerOpen)
+	}
+	fmt.Fprintf(&sb, "mmap cold-start speedup %.0fx\n", b.MmapSpeedup)
+	for _, w := range b.WAL {
+		fmt.Fprintf(&sb, "wal sync=%-7s %8.0f batches/s (%d deltas/batch, %.1f MB/s)\n",
+			w.Policy, w.BatchesPerSec, w.DeltasPerBatch, w.MBPerSec)
+	}
+	fmt.Fprintf(&sb, "crash-recovery rankings identical: %v\n", b.RecoveryIdentical)
+	return sb.String()
+}

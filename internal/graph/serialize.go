@@ -24,10 +24,13 @@ const graphMagic = 0x54524731
 // WriteTo serializes the graph, including its vocabulary, so a dataset
 // can be generated once and reloaded by every tool.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	// The counter sits below the buffer so the returned int64 is bytes
+	// actually delivered to w, per the io.WriterTo contract — not bytes
+	// parked in bufio that a failed Flush would silently drop.
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	le := binary.LittleEndian
-	put32 := func(v uint32) error { return binary.Write(cw, le, v) }
+	put32 := func(v uint32) error { return binary.Write(bw, le, v) }
 
 	if err := put32(graphMagic); err != nil {
 		return cw.n, err
@@ -40,10 +43,10 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		if len(n) > 0xFFFF {
 			return cw.n, fmt.Errorf("graph: topic name too long")
 		}
-		if err := binary.Write(cw, le, uint16(len(n))); err != nil {
+		if err := binary.Write(bw, le, uint16(len(n))); err != nil {
 			return cw.n, err
 		}
-		if _, err := cw.Write([]byte(n)); err != nil {
+		if _, err := bw.WriteString(n); err != nil {
 			return cw.n, err
 		}
 	}
@@ -55,7 +58,7 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
-	if err := binary.Write(cw, le, uint64(g.NumEdges())); err != nil {
+	if err := binary.Write(bw, le, uint64(g.NumEdges())); err != nil {
 		return cw.n, err
 	}
 	for u := 0; u < g.NumNodes(); u++ {
@@ -72,7 +75,8 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	return cw.n, bw.Flush()
+	err := bw.Flush()
+	return cw.n, err
 }
 
 // ReadGraph deserializes a graph written by WriteTo, validating the
@@ -187,21 +191,24 @@ const permMagic = 0x54525031
 
 // WriteTo serializes the permutation.
 func (p Permutation) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	// As in Graph.WriteTo: count below the buffer, so the return value is
+	// flushed bytes.
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	le := binary.LittleEndian
-	if err := binary.Write(cw, le, uint32(permMagic)); err != nil {
+	if err := binary.Write(bw, le, uint32(permMagic)); err != nil {
 		return cw.n, err
 	}
-	if err := binary.Write(cw, le, uint32(p.Len())); err != nil {
+	if err := binary.Write(bw, le, uint32(p.Len())); err != nil {
 		return cw.n, err
 	}
 	for _, in := range p.fwd {
-		if err := binary.Write(cw, le, uint32(in)); err != nil {
+		if err := binary.Write(bw, le, uint32(in)); err != nil {
 			return cw.n, err
 		}
 	}
-	return cw.n, bw.Flush()
+	err := bw.Flush()
+	return cw.n, err
 }
 
 // ReadPermutation deserializes a permutation written by WriteTo,

@@ -10,7 +10,7 @@ import (
 	"repro/internal/topics"
 )
 
-func engineOn(t *testing.T, ds *gen.Dataset, beta float64) *core.Engine {
+func engineOn(t testing.TB, ds *gen.Dataset, beta float64) *core.Engine {
 	t.Helper()
 	p := core.DefaultParams()
 	if beta > 0 {

@@ -30,17 +30,19 @@ const (
 
 // WriteTo serializes the store.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
-	put32 := func(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
-	put64 := func(v float64) error { return binary.Write(cw, binary.LittleEndian, math.Float64bits(v)) }
+	// The counter wraps w itself, under the buffer, so the returned int64
+	// is bytes actually flushed — the io.WriterTo contract.
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	put32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	put64 := func(v float64) error { return binary.Write(bw, binary.LittleEndian, math.Float64bits(v)) }
 
 	for _, v := range []uint32{storeMagic, uint32(s.vocabLen), uint32(s.topN), uint32(len(s.order))} {
 		if err := put32(v); err != nil {
 			return cw.n, err
 		}
 	}
-	if err := binary.Write(cw, binary.LittleEndian, s.layoutEpoch); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, s.layoutEpoch); err != nil {
 		return cw.n, err
 	}
 	writeList := func(l *List) error {
@@ -77,7 +79,8 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
-	return cw.n, bw.Flush()
+	err := bw.Flush()
+	return cw.n, err
 }
 
 // ReadStore deserializes a store written by WriteTo, validating structure

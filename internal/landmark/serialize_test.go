@@ -2,6 +2,7 @@ package landmark
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/gen"
@@ -112,4 +113,83 @@ func TestReadStoreTruncatedPayload(t *testing.T) {
 	if _, err := ReadStore(bytes.NewReader(cut)); err == nil {
 		t.Error("truncated payload must error")
 	}
+}
+
+// failAfterWriter accepts limit bytes, then fails — a full disk
+// mid-serialization.
+type failAfterWriter struct {
+	limit int
+	n     int64
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n >= int64(w.limit) {
+		return 0, errDiskFull
+	}
+	take := len(p)
+	if rem := int64(w.limit) - w.n; int64(take) > rem {
+		take = int(rem)
+	}
+	w.n += int64(take)
+	if take < len(p) {
+		return take, errDiskFull
+	}
+	return take, nil
+}
+
+// TestWriteToReportsFlushedBytes: the count a failed WriteTo returns must
+// match what the underlying writer accepted, not what bufio buffered.
+func TestWriteToReportsFlushedBytes(t *testing.T) {
+	ds := gen.RandomWith(30, 250, 9)
+	eng := engineOn(t, ds, 0.05)
+	lms, err := Select(ds.Graph, InDeg, 3, DefaultSelectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, _ := Preprocess(eng, lms, PreprocessConfig{TopN: 10})
+	var buf bytes.Buffer
+	full, err := store.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 5, int(full) / 3, int(full) - 1} {
+		fw := &failAfterWriter{limit: limit}
+		n, err := store.WriteTo(fw)
+		if err == nil {
+			t.Fatalf("limit %d: WriteTo succeeded on a failing writer", limit)
+		}
+		if n != fw.n {
+			t.Fatalf("limit %d: WriteTo reported %d bytes, writer accepted %d", limit, n, fw.n)
+		}
+	}
+}
+
+// FuzzReadStore: the store reader must never panic on arbitrary bytes.
+func FuzzReadStore(f *testing.F) {
+	ds := gen.RandomWith(25, 200, 11)
+	eng := engineOn(f, ds, 0.05)
+	lms, err := Select(ds.Graph, InDeg, 3, DefaultSelectConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	store, _ := Preprocess(eng, lms, PreprocessConfig{TopN: 8})
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := buf.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	f.Add(corrupt)
+	f.Add([]byte{0x31, 0x4b, 0x4d, 0x4c})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadStore(bytes.NewReader(data))
+		if err == nil && s == nil {
+			t.Fatal("nil store without error")
+		}
+	})
 }

@@ -109,12 +109,27 @@ func (r *ShardRouter) Shards() int { return len(r.groups) }
 // Epoch folds the last-seen per-shard graph epochs into one cluster
 // epoch. Cache and coalesce keys carry it, so a shard advancing its graph
 // invalidates exactly the cached answers that could now differ.
+//
+// The fold is FNV-64a over each shard's epoch in shard order, not a plain
+// sum: a sum is position-blind, so opposite moves cancel — e.g. a
+// restarted shard rewinding to 0 while another advances leaves the sum
+// unchanged and stale cached answers keep serving. Hashing position and
+// value makes any single-shard change alter the cluster epoch.
 func (r *ShardRouter) Epoch() uint64 {
-	var sum uint64
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
 	for i := range r.epochs {
-		sum += r.epochs[i].Load()
+		e := r.epochs[i].Load()
+		for b := 0; b < 8; b++ {
+			h ^= e & 0xff
+			h *= fnvPrime
+			e >>= 8
+		}
 	}
-	return sum
+	return h
 }
 
 // instrument resolves the router's metric handles in reg.
@@ -204,11 +219,23 @@ func (r *ShardRouter) fetchShard(ctx context.Context, shard int, body []byte) ([
 	launch(eps[0])
 	launched, replied := 1, 0
 
-	var hedgeTimer <-chan time.Time
+	// The hedge timer is stopped on every exit path (the deferred Stop)
+	// and disarmed eagerly the moment it can no longer matter — once every
+	// replica has been launched — so a fast primary win never leaves a
+	// timer pending for the hedge delay.
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
 	if r.hedge > 0 && len(eps) > 1 {
-		t := time.NewTimer(r.hedge)
-		defer t.Stop()
-		hedgeTimer = t.C
+		hedgeTimer = time.NewTimer(r.hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	disarmHedge := func() {
+		if hedgeTimer != nil {
+			hedgeTimer.Stop()
+			hedgeTimer = nil
+			hedgeC = nil
+		}
 	}
 
 	var firstErr error
@@ -226,13 +253,16 @@ func (r *ShardRouter) fetchShard(ctx context.Context, shard int, body []byte) ([
 				r.hedgeCtr.Inc()
 				launch(eps[launched])
 				launched++
+				if launched == len(eps) {
+					disarmHedge()
+				}
 				continue
 			}
 			if replied == launched {
 				return nil, firstErr
 			}
-		case <-hedgeTimer:
-			hedgeTimer = nil
+		case <-hedgeC:
+			hedgeTimer, hedgeC = nil, nil
 			if launched < len(eps) {
 				r.hedgeCtr.Inc()
 				launch(eps[launched])

@@ -299,3 +299,71 @@ func getJSONBody(t *testing.T, resp *http.Response, out any) {
 		t.Fatal(err)
 	}
 }
+
+// TestEpochRestartDistinguished: the cluster epoch must change whenever
+// any single shard's epoch moves — including the restart scenario where
+// one shard rewinds to 0 while another advances, which keeps a plain sum
+// (the old fold) unchanged and would have served stale cached answers.
+func TestEpochRestartDistinguished(t *testing.T) {
+	router := NewShardRouter([][]string{{"a"}, {"b"}}, time.Second, 0)
+	set := func(a, b uint64) uint64 {
+		router.epochs[0].Store(a)
+		router.epochs[1].Store(b)
+		return router.Epoch()
+	}
+	seen := map[uint64][2]uint64{}
+	for _, tc := range [][2]uint64{
+		{0, 0},
+		{2, 3}, {3, 2}, // swap: same sum
+		{0, 5}, {5, 0}, // restart rewind: same sum
+		{1, 4}, {4, 1}, // another equal-sum pair
+		{0, 1}, {1, 0},
+	} {
+		e := set(tc[0], tc[1])
+		if prev, dup := seen[e]; dup {
+			t.Fatalf("epochs %v and %v fold to the same cluster epoch %#x", prev, tc, e)
+		}
+		seen[e] = tc
+	}
+	// And the fold must be stable: same per-shard epochs, same key.
+	if set(2, 3) != set(2, 3) {
+		t.Fatal("cluster epoch not deterministic")
+	}
+}
+
+// TestRouterFastPrimaryNoHedge: when the primary answers well inside the
+// hedge delay, no hedged request may reach the replica — the hedge timer
+// must be disarmed, not left to fire after the gather returned.
+func TestRouterFastPrimaryNoHedge(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	primary := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", distrib.PartialContentType)
+		w.Write(encodedPartial(0, 1, 0, //nolint:errcheck
+			[]distrib.PartialEntry{{Node: 7, Score: 1}}))
+	})
+	var replicaHits atomic.Uint64
+	replica := fakeShard(t, func(w http.ResponseWriter, r *http.Request) {
+		replicaHits.Add(1)
+		w.Header().Set("Content-Type", distrib.PartialContentType)
+		w.Write(encodedPartial(0, 1, 0, nil)) //nolint:errcheck
+	})
+	const hedge = 30 * time.Millisecond
+	router := NewShardRouter([][]string{{primary, replica}}, time.Second, hedge)
+	srv := newTestHTTP(t, New(mgr, core.DefaultParams().Beta,
+		WithMetrics(reg), WithShardRouter(router)))
+
+	var resp RecommendResponse
+	recommendInto(t, srv.URL, "user=3&topic=technology", &resp)
+	if resp.Degraded {
+		t.Fatal("fast primary answer marked degraded")
+	}
+	// Wait out the hedge delay: a leaked timer would fire in here.
+	time.Sleep(3 * hedge)
+	if got := replicaHits.Load(); got != 0 {
+		t.Errorf("replica served %d requests despite a fast primary", got)
+	}
+	if got := reg.Counter("shard_hedges_total", "").Value(); got != 0 {
+		t.Errorf("shard_hedges_total = %d, want 0", got)
+	}
+}

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile falls back to reading the whole file into the heap on platforms
+// without a usable mmap: the zero-copy section casts still work (they only
+// need an aligned byte slice), the graph just cannot exceed RAM.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	if size < 0 || size > int64(maxInt) {
+		return nil, fmt.Errorf("store: cannot load %d bytes", size)
+	}
+	// Heap slices this large are at least 8-byte aligned, so the
+	// page-aligned section offsets keep every typed cast aligned.
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("store: reading file: %w", err)
+	}
+	return &mapping{data: buf}, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The mapping is shared, so the
+// pages are backed by the page cache: a snapshot larger than RAM pages in
+// on demand and clean pages are simply evicted under pressure.
+func mapFile(f *os.File, size int64) (*mapping, error) {
+	if size == 0 {
+		return &mapping{}, nil
+	}
+	if size < 0 || size > int64(maxInt) {
+		return nil, fmt.Errorf("store: cannot map %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap: %w", err)
+	}
+	return &mapping{data: data, unmap: func() error { return syscall.Munmap(data) }}, nil
+}
