@@ -20,7 +20,7 @@ test:
 # permutation boundary and the float32 kernel are race-checked on every
 # check too; a full -race run over the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/... ./internal/store/...
+	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/... ./internal/store/... ./internal/ingest/...
 
 .PHONY: race-all
 race-all:
@@ -86,6 +86,17 @@ bench-shard:
 bench-store:
 	$(GO) run ./cmd/trbench -exp bench-store -tw-nodes 1000000 -tw-avgout 8 -bench-out BENCH_store.json
 
+# bench-stream drives timestamped churn through the streaming ingestion
+# pipeline at increasing open-loop rates and rewrites BENCH_stream.json:
+# Kendall-tau ranking staleness of the served landmark lists against a
+# fresh recompute, priority versus round-robin scheduling at an equal
+# refresh budget (gate: priority strictly fresher at every rate), and
+# the zero-lost-updates conservation check (every offered update either
+# durably applies or is explicitly rejected with backpressure).
+.PHONY: bench-stream
+bench-stream:
+	$(GO) run ./cmd/trbench -exp bench-stream -bench-out BENCH_stream.json
+
 # bench-kernel compares the seed dense exploration against the
 # cache-topology-aware float32 kernel under both relabeling orders and
 # rewrites BENCH_kernel.json (it also re-verifies the kernel's Kendall
@@ -107,6 +118,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzOpenSnapshot -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzOpenLandmarks -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzScanWAL -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeDecay -fuzztime=10s ./internal/store/
 
 .PHONY: bench-all
 bench-all:

@@ -67,7 +67,7 @@ func main() {
 	// reproducing a paper artifact; they print the comparison and write
 	// the machine-readable result next to the repository's other
 	// committed benchmark files.
-	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" || *exp == "bench-store" {
+	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" || *exp == "bench-store" || *exp == "bench-stream" {
 		var (
 			res interface{ String() string }
 			err error
@@ -103,6 +103,11 @@ func main() {
 			res, err = r.BenchStore()
 			if out == "" {
 				out = "BENCH_store.json"
+			}
+		case "bench-stream":
+			res, err = r.BenchStream()
+			if out == "" {
+				out = "BENCH_stream.json"
 			}
 		}
 		if err != nil {

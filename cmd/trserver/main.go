@@ -17,6 +17,15 @@
 // persisted landmark store and replay the WAL tail, serving the exact
 // pre-crash rankings in milliseconds of graph-load time.
 //
+// With the streaming ingestion pipeline enabled, POST /v1/update
+// enqueues into a bounded queue (202 Accepted; 429 + Retry-After when
+// full) instead of applying synchronously, edge weights decay with a
+// configurable half-life, and the per-batch refresh budget is spent by
+// a scheduler instead of draining every stale landmark:
+//
+//	trserver -ingest-queue 4096 -half-life 24h -decay-path data/decay.trdk \
+//	         -refresh-sched priority -refresh-budget 4
+//
 // The unversioned routes (/recommend, /updates, ...) remain as
 // deprecated aliases of the /v1 surface.
 package main
@@ -33,6 +42,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/landmark"
 	"repro/internal/metrics"
 	"repro/internal/server"
@@ -61,6 +71,12 @@ func main() {
 		walPath   = flag.String("wal", "", "write-ahead log path: update batches are logged before applying and replayed at boot")
 		walSync   = flag.String("wal-sync", "os", "WAL durability: os (page cache) or always (fsync per batch)")
 		verifySt  = flag.Bool("verify-store", false, "run the deep per-section CRC + invariant pass when opening snapshot/landmark files (slower cold start)")
+		halfLife  = flag.Duration("half-life", 0, "time-decay half-life for edge weights (0 disables decay)")
+		decayPath = flag.String("decay-path", "", "TRDK decay sidecar path: adopted at boot when present, republished at each compaction (requires -half-life)")
+		queueCap  = flag.Int("ingest-queue", 0, "streaming ingestion queue capacity; POST /v1/update enqueues (202) instead of applying synchronously, rejecting with 429 when full (0 keeps the synchronous path)")
+		batchMax  = flag.Int("ingest-batch", 256, "max updates the ingestion consumer coalesces into one apply")
+		schedFlag = flag.String("refresh-sched", "all", "stale-landmark refresh scheduler: all, roundrobin, priority")
+		budget    = flag.Int("refresh-budget", 4, "stale landmarks refreshed per opportunity under the budgeted schedulers")
 	)
 	flag.IntVar(&admission.MaxInflight, "max-inflight", admission.MaxInflight, "concurrent recommendation computations (0 disables admission control)")
 	flag.IntVar(&admission.MaxQueue, "max-queue", admission.MaxQueue, "computations that may queue for a slot before requests are shed with 429")
@@ -134,6 +150,10 @@ func main() {
 	default:
 		log.Fatalf("unknown refresh strategy %q", *strategy)
 	}
+	sched, err := dynamic.ParseSchedulerKind(*schedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	lms, err := landmark.Select(g, landmark.InDeg, *landmarkN, landmark.DefaultSelectConfig())
 	if err != nil {
@@ -152,6 +172,24 @@ func main() {
 		OptimizeLayout: *optLayout,
 		SnapshotPath:   *snapPath,
 		LandmarkPath:   *lmkPath,
+		Scheduler:      sched,
+		RefreshBudget:  *budget,
+		HalfLife:       *halfLife,
+		DecayPath:      *decayPath,
+	}
+	if *decayPath != "" {
+		if *halfLife <= 0 {
+			log.Fatal("-decay-path requires -half-life")
+		}
+		if _, statErr := os.Stat(*decayPath); statErr == nil {
+			dec, err := store.ReadDecayFile(*decayPath)
+			if err != nil {
+				log.Fatalf("opening decay sidecar %s: %v", *decayPath, err)
+			}
+			mgrCfg.InitialDecay = dec
+			log.Printf("adopted decay sidecar %s (%d timestamped edges, ref %d)",
+				*decayPath, len(dec.Edges), dec.Ref)
+		}
 	}
 	if *lmkPath != "" {
 		if _, statErr := os.Stat(*lmkPath); statErr == nil {
@@ -196,6 +234,12 @@ func main() {
 	srvOpts := []server.Option{
 		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo),
 		server.WithAdmission(admission), server.WithDegradeBudget(*degradeB),
+	}
+	if *queueCap > 0 {
+		pipe := ingest.New(mgr, ingest.Config{QueueCap: *queueCap, MaxBatch: *batchMax, Metrics: reg})
+		defer pipe.Close() //nolint:errcheck // process exit drains via ListenAndServe's Fatal anyway
+		srvOpts = append(srvOpts, server.WithIngest(pipe))
+		log.Printf("streaming ingestion: queue %d, batch %d", *queueCap, *batchMax)
 	}
 	if *shards != "" {
 		groups, err := server.ParseShardFlag(*shards)

@@ -9,6 +9,7 @@ package churn
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -30,6 +31,15 @@ type Config struct {
 	UnfollowExisting float64
 	// Seed drives the stream.
 	Seed uint64
+	// Start, when nonzero, stamps every event with an arrival timestamp
+	// (Unix ns): event i arrives at Start + i/Rate seconds. Timestamped
+	// streams drive the time-decayed ingestion path deterministically —
+	// the same (Seed, Start, Rate) always yields the same events at the
+	// same instants, which the decay recovery drills rely on.
+	Start int64
+	// Rate is the stream's event rate in events/second for timestamp
+	// spacing (only used when Start is set). <= 0 uses 1000.
+	Rate float64
 }
 
 // DefaultConfig mirrors the short-lifespan observation: roughly a third
@@ -115,6 +125,16 @@ func Generate(g graph.View, cfg Config) ([]dynamic.Update, error) {
 		if r.Float64() < cfg.ShortLived {
 			die := i + 1 + r.IntN(2*cfg.Lifespan)
 			pending[die] = append(pending[die], dynamic.Update{Edge: up.Edge, Add: false})
+		}
+	}
+	if cfg.Start != 0 {
+		rate := cfg.Rate
+		if rate <= 0 {
+			rate = 1000
+		}
+		spacing := int64(float64(time.Second) / rate)
+		for i := range out {
+			out[i].At = cfg.Start + int64(i)*spacing
 		}
 	}
 	return out, nil

@@ -222,6 +222,7 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 			wTopoAB := s.cur[wBase+abOff]
 			wTopoB := s.cur[wBase+bOff]
 			dsts, lbls := e.g.Out(w)
+			wrow := e.outWeights(w)
 			for i, v := range dsts {
 				vBase := int(v) * stride
 				if !s.inNext[v] {
@@ -234,8 +235,14 @@ func (e *Engine) exploreDense(src graph.NodeID, ts []topics.ID, maxDepth int, op
 					s.next[vBase+abOff] = 0
 				}
 				sr := e.simRow(lbls[i])
+				// Decay weight of this edge: scales the topical unit, not
+				// the topo recurrences (see Engine.wts).
+				ew := 1.0
+				if wrow != nil {
+					ew = float64(wrow[i])
+				}
 				for ti, t := range ts {
-					unit := sr[t]
+					unit := sr[t] * ew
 					if ac := acols[ti]; ac != nil {
 						unit *= ac[v]
 					}

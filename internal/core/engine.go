@@ -177,6 +177,21 @@ type Engine struct {
 	// built by Optimized: the relabeled CSR and float32 factor mirrors.
 	// Engines without a layout run the exact float64 modes only.
 	layout *layout
+	// wts, when non-nil, scales each edge's topical factor by a per-edge
+	// weight (the streaming tier's time-decay recency weights). The
+	// purely topological scores (topo_β, topo_αβ) stay unweighted — only
+	// the σ edge unit sim·auth picks up the factor — so the landmark
+	// combination algebra (Proposition 4) is unchanged: it holds for any
+	// per-edge unit function.
+	wts EdgeWeighter
+}
+
+// EdgeWeighter serves per-edge multiplicative weights aligned with a
+// View's Out rows: OutWeights(u)[i] scales the topical factor of u's
+// i-th out-edge. A nil row means unit weights for that node.
+// graph.EdgeWeights is the production implementation.
+type EdgeWeighter interface {
+	OutWeights(u graph.NodeID) []float32
 }
 
 // NewEngine assembles an engine over any graph View. auth may be nil for
@@ -241,6 +256,10 @@ func (e *Engine) Derive(v graph.View, auth *authority.Table) (*Engine, error) {
 	// relabeling describes one frozen edge set, and v's overlay delta
 	// invalidates it. Derived engines run the exact modes until the owner
 	// re-optimizes (dynamic.Manager does so at compaction).
+	// Like the layout, edge weights are deliberately dropped: a weight
+	// set is row-aligned with one specific view, and v's rows differ.
+	// The owner re-attaches a matching set via WithEdgeWeights
+	// (dynamic.Manager layers one per overlay epoch).
 	ne := &Engine{g: v, auth: auth, sim: e.sim, params: e.params, simc: e.simc, ones: e.ones}
 	if ne.simc != nil {
 		if ov, ok := v.(*graph.Overlay); ok {
@@ -248,6 +267,32 @@ func (e *Engine) Derive(v graph.View, auth *authority.Table) (*Engine, error) {
 		}
 	}
 	return ne, nil
+}
+
+// WithEdgeWeights returns a copy of the engine whose explorations scale
+// every edge's topical factor by w's per-edge weight. w must be
+// row-aligned with the engine's current view. Any optimized layout is
+// dropped — its flattened factor tables were built without the weights —
+// and is rebuilt weight-aware by the next Optimized call. A nil w
+// returns an unweighted copy.
+func (e *Engine) WithEdgeWeights(w EdgeWeighter) *Engine {
+	ne := *e
+	ne.wts = w
+	ne.layout = nil
+	return &ne
+}
+
+// EdgeWeights returns the engine's per-edge weight source (nil when
+// unweighted).
+func (e *Engine) EdgeWeights() EdgeWeighter { return e.wts }
+
+// outWeights returns the per-edge weight row of u, or nil for unit
+// weights.
+func (e *Engine) outWeights(u graph.NodeID) []float32 {
+	if e.wts == nil {
+		return nil
+	}
+	return e.wts.OutWeights(u)
 }
 
 // simRow returns the per-topic similarity factors of an edge label (ones

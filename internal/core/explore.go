@@ -300,6 +300,7 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 				continue
 			}
 			dsts, lbls := e.g.Out(w)
+			wrow := e.outWeights(w)
 			for i, v := range dsts {
 				dv := next[v]
 				if dv == nil {
@@ -316,8 +317,14 @@ func (e *Engine) ExploreOpts(src graph.NodeID, ts []topics.ID, opts ExploreOptio
 				}
 				sr := e.simRow(lbls[i])
 				ar := e.authRow(v)
+				// The decay weight scales the edge's topical unit only;
+				// the topological recurrences below stay unweighted.
+				ew := 1.0
+				if wrow != nil {
+					ew = float64(wrow[i])
+				}
 				for ti, t := range ts {
-					unit := sr[t] * ar[t]
+					unit := sr[t] * ar[t] * ew
 					dv.sigma[ti] += beta*dw.sigma[ti] + dw.topoAB*(ab*unit)
 				}
 				dv.topoAB += ab * dw.topoAB

@@ -59,6 +59,12 @@ type layout struct {
 	// with stride 0, broadcasting 1 for every node.
 	auth32     []float32
 	authStride int
+	// wTab, when non-nil, is the per-edge decay weight for each out-edge
+	// position (same indexing as simIdx): the engine's EdgeWeighter
+	// folded into the flat factor tables at Optimized time, so weighted
+	// kernel explorations pay one extra 4-byte load per edge and no
+	// lookup.
+	wTab []float32
 }
 
 func toFloat32(row []float64) []float32 {
@@ -102,12 +108,25 @@ func (e *Engine) Optimized(order graph.Order) (*Engine, error) {
 	}
 	lay.simIdx = make([]uint32, rg.NumEdges())
 	lay.outOff = make([]uint32, n+1)
+	if e.wts != nil {
+		lay.wTab = make([]float32, rg.NumEdges())
+	}
 	labelOff := make(map[topics.Set]uint32)
 	pos := 0
 	for in := 0; in < n; in++ {
 		dsts, lbls := rg.Out(graph.NodeID(in))
 		lay.outOff[in+1] = lay.outOff[in] + uint32(len(dsts))
-		for _, lbl := range lbls {
+		// Relabeling reorders each row by internal id, so the external
+		// weight row is re-addressed per edge: the external row is sorted
+		// by external dst, making the position a binary search.
+		var extIDs []graph.NodeID
+		var wrow []float32
+		if lay.wTab != nil {
+			ext := perm.Back(graph.NodeID(in))
+			extIDs, _ = e.g.Out(ext)
+			wrow = e.wts.OutWeights(ext)
+		}
+		for i, lbl := range lbls {
 			if e.simc != nil {
 				off, ok := labelOff[lbl]
 				if !ok {
@@ -116,6 +135,17 @@ func (e *Engine) Optimized(order graph.Order) (*Engine, error) {
 					lay.simTab = append(lay.simTab, toFloat32(e.simc.row(lbl))...)
 				}
 				lay.simIdx[pos] = off
+			}
+			if lay.wTab != nil {
+				w := float32(1)
+				if wrow != nil {
+					extDst := perm.Back(dsts[i])
+					j, okJ := slices.BinarySearch(extIDs, extDst)
+					if okJ {
+						w = wrow[j]
+					}
+				}
+				lay.wTab[pos] = w
 			}
 			pos++
 		}
@@ -319,6 +349,7 @@ func (e *Engine) exploreKernel(src graph.NodeID, ts []topics.ID, maxDepth int, o
 	beta32, ab32 := float32(e.params.Beta), float32(e.params.Alpha*e.params.Beta)
 	T := lay.T
 	simTab, simIdx, outOff := lay.simTab, lay.simIdx, lay.outOff
+	wTab := lay.wTab
 	authTab, astr := lay.auth32, lay.authStride
 	// A nil topic request expands to the identity [0..T): the common
 	// preprocessing shape, worth a branch-free inner loop.
@@ -403,17 +434,23 @@ func (e *Engine) exploreKernel(src graph.NodeID, ts []topics.ID, maxDepth int, o
 					off := int(simIdx[eb+i])
 					ao := int(v) * astr
 					abT := ab32 * wTopoAB
+					// abU scales the topical unit by the edge's folded
+					// decay weight; the topo updates keep abT.
+					abU := abT
+					if wTab != nil {
+						abU *= wTab[eb+i]
+					}
 					if tsIdent {
 						sr := simTab[off : off+k : off+k]
 						ar := authTab[ao : ao+k : ao+k]
 						for j := range row {
-							row[j] += bw[j] + abT*(sr[j]*ar[j])
+							row[j] += bw[j] + abU*(sr[j]*ar[j])
 						}
 					} else {
 						sr := simTab[off : off+T]
 						ar := authTab[ao : ao+T]
 						for j, t := range ts {
-							row[j] += bw[j] + abT*(sr[t]*ar[t])
+							row[j] += bw[j] + abU*(sr[t]*ar[t])
 						}
 					}
 					nt.topoAB[vi] += abT

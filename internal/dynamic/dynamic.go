@@ -30,6 +30,7 @@ package dynamic
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,10 +99,38 @@ type Config struct {
 	// A failed refresh no longer propagates to the caller — the affected
 	// landmarks simply stay stale and are retried later — and no further
 	// refresh is attempted until the backoff window (doubled per
-	// consecutive failure, capped at 8x) has passed, so a persistently
-	// failing refresh can neither fail update batches nor starve queries
-	// with repeated refresh attempts. 0 uses 500ms.
+	// consecutive failure, capped at 64x, with ±25% jitter so retries
+	// desynchronize) has passed, so a persistently failing refresh can
+	// neither fail update batches nor starve queries with repeated
+	// refresh attempts. 0 uses 500ms. The remaining window is exported
+	// as the dynamic_refresh_backoff_seconds gauge.
 	RefreshBackoff time.Duration
+	// Scheduler picks which stale landmarks a refresh opportunity
+	// repairs (see SchedulerKind). The zero value SchedAll is the
+	// legacy refresh-everything policy.
+	Scheduler SchedulerKind
+	// RefreshBudget caps how many landmarks the budgeted schedulers
+	// (SchedRoundRobin, SchedPriority) refresh per opportunity. <= 0
+	// uses 4. SchedAll ignores it.
+	RefreshBudget int
+	// HalfLife enables time-decayed edge weights: an edge's topical
+	// contribution halves per HalfLife of age (see decay.go for the
+	// fold semantics). 0 disables decay — the legacy unweighted path.
+	HalfLife time.Duration
+	// DecayOrigin is the event timestamp (Unix ns) assigned to the
+	// base graph's edges when decay is enabled. 0 stamps them with the
+	// manager's construction time.
+	DecayOrigin int64
+	// DecayPath, when non-empty (and decay is enabled), persists the
+	// decay sidecar (TRDK: fold reference, origin, per-edge
+	// timestamps) alongside each graph snapshot, so snapshot+WAL-tail
+	// recovery reproduces the decayed weights bit-identically.
+	DecayPath string
+	// InitialDecay, when non-nil, is adopted as the decay state instead
+	// of starting fresh — the recovery path for a sidecar persisted via
+	// DecayPath. Adopt it together with the snapshot it was written
+	// beside, before replaying the WAL tail.
+	InitialDecay *store.DecayState
 	// Metrics, when non-nil, receives maintenance counters and gauges
 	// (batches, edge changes, refreshes, stale landmarks) plus the
 	// preprocessing timings of every refresh. Equivalent to calling
@@ -217,7 +246,20 @@ type Manager struct {
 	store   *landmark.Store
 	lms     []graph.NodeID
 	stale   map[graph.NodeID]bool
-	stats   Stats
+	// staleMeta carries the scheduling evidence (age, dirty hits, query
+	// traffic) of each stale landmark; entries live exactly as long as
+	// the stale mark (scheduler.go).
+	staleMeta map[graph.NodeID]*staleMeta
+	stats     Stats
+	// decay is the time-decayed edge-weight bookkeeping; inert unless
+	// Config.HalfLife is set (decay.go).
+	decay decayState
+	// nowFn stamps updates that arrive without a timestamp; the test
+	// seam for deterministic streams. Defaults to time.Now().UnixNano.
+	nowFn func() int64
+	// rng drives the backoff jitter (failure path only, so determinism
+	// drills — which never fail — are unaffected).
+	rng *rand.Rand
 	// pool recycles dense exploration buffers across landmark refreshes
 	// and exact queries. Updates never change the node count or the
 	// vocabulary, so one pool serves every engine generation.
@@ -270,15 +312,31 @@ func NewManager(g *graph.Graph, lms []graph.NodeID, cfg Config) (*Manager, error
 	if cfg.RefreshBackoff == 0 {
 		cfg.RefreshBackoff = 500 * time.Millisecond
 	}
+	if cfg.RefreshBudget <= 0 {
+		cfg.RefreshBudget = 4
+	}
 	m := &Manager{
 		cfg:   cfg,
 		view:  g,
 		lms:   append([]graph.NodeID(nil), lms...),
 		stale: make(map[graph.NodeID]bool),
+		nowFn: func() int64 { return time.Now().UnixNano() },
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())), //nolint:gosec // jitter, not crypto
 	}
 	m.viewPub.Store(&viewBox{view: g})
 	if err := m.rebuildEngine(); err != nil {
 		return nil, err
+	}
+	if cfg.HalfLife > 0 {
+		m.decay.init(cfg.HalfLife, cfg.DecayOrigin, m.nowFn())
+		if cfg.InitialDecay != nil {
+			// Recovery path: the persisted fold reference and per-edge
+			// timestamps, adopted before any WAL replay so replayed
+			// batches fold against the pre-crash anchor.
+			m.decay.adopt(cfg.InitialDecay)
+		}
+		m.decay.rebuild(g)
+		m.eng = m.eng.WithEdgeWeights(m.decay.wts)
 	}
 	if err := m.optimizeLocked(); err != nil {
 		return nil, err
@@ -359,6 +417,9 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 	reg.GaugeFunc("dynamic_layout_epoch",
 		"Current cache-aware layout generation (0 = seed node order).",
 		func() float64 { return float64(m.Stats().LayoutEpoch) })
+	reg.GaugeFunc("dynamic_refresh_backoff_seconds",
+		"Remaining refresh-backoff window after a failed refresh (0 = not backing off).",
+		func() float64 { return m.backoffRemaining().Seconds() })
 	if wal != nil {
 		reg.GaugeFunc("dynamic_wal_bytes",
 			"Current write-ahead log length (truncated at each persisted compaction).",
@@ -444,10 +505,14 @@ func (m *Manager) statsLocked() Stats {
 	return s
 }
 
-// Update is one follow (Add=true) or unfollow change.
+// Update is one follow (Add=true) or unfollow change. At is the event's
+// Unix-nanosecond timestamp; 0 lets the manager stamp it at apply time
+// (decay-enabled managers always log stamped deltas, so recovery decays
+// from event time, never from the replay clock).
 type Update struct {
 	Edge graph.Edge
 	Add  bool
+	At   int64
 }
 
 // Apply commits a batch of updates as one overlay snapshot layered over
@@ -472,6 +537,27 @@ func (m *Manager) Apply(batch []Update) error {
 func (m *Manager) applyLocked(batch []Update, durable bool) error {
 	if len(batch) == 0 {
 		return nil
+	}
+	if m.decay.enabled() && durable {
+		// Stamp unstamped updates before the write-ahead point, so the
+		// log always carries the event times the weights decay from. The
+		// batch is copied first — the caller's slice is not mutated.
+		stamped := false
+		for _, up := range batch {
+			if up.At == 0 {
+				stamped = true
+				break
+			}
+		}
+		if stamped {
+			batch = append([]Update(nil), batch...)
+			now := m.nowFn()
+			for i := range batch {
+				if batch[i].At == 0 {
+					batch[i].At = now
+				}
+			}
+		}
 	}
 	var adds, removes []graph.Edge
 	for _, up := range batch {
@@ -532,6 +618,13 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 	if err != nil {
 		return err
 	}
+	if m.decay.enabled() {
+		// Fold the batch's decay weights into a layer mirroring the
+		// overlay, and re-attach the weight stack Derive dropped.
+		m.decay.note(batch)
+		m.decay.layer(ov)
+		eng = eng.WithEdgeWeights(m.decay.wts)
+	}
 	m.eng = eng
 
 	// Compaction: fold the overlay stack into a fresh CSR once it is deep
@@ -554,6 +647,14 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 		eng, err := m.eng.Derive(m.view, m.auth)
 		if err != nil {
 			return err
+		}
+		if m.decay.enabled() {
+			// The stack folded into a frozen CSR: rebuild the weights as
+			// one flat CSR-aligned table, re-anchoring the fold reference
+			// to the newest applied timestamp (the only wholesale weight
+			// rewrite; rankings are invariant under the re-anchor).
+			m.decay.rebuild(m.view.(*graph.Graph))
+			eng = eng.WithEdgeWeights(m.decay.wts)
 		}
 		m.eng = eng
 		m.stats.Compactions++
@@ -579,15 +680,15 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 	// degree change, but the dominant staleness comes from path changes:
 	// a landmark is affected when it reaches a changed edge's source.
 	for _, lm := range m.affectedLandmarks(batch) {
-		m.stale[lm] = true
+		m.markStaleLocked(lm)
 	}
 
 	switch m.cfg.Strategy {
 	case Eager:
-		m.tryRefreshLocked(m.staleList())
+		m.tryRefreshLocked(m.scheduleLocked())
 	case Threshold:
 		if len(m.stale) >= m.cfg.StaleBound {
-			m.tryRefreshLocked(m.staleList())
+			m.tryRefreshLocked(m.scheduleLocked())
 		}
 	}
 
@@ -630,6 +731,19 @@ func (m *Manager) persistSnapshotLocked() {
 	// of the state it covers is published.
 	if m.cfg.LandmarkPath != "" {
 		if _, err := store.WriteLandmarksFile(m.cfg.LandmarkPath, m.store); err != nil {
+			m.stats.SnapshotFailures++
+			if m.mSnapshotFails != nil {
+				m.mSnapshotFails.Inc()
+			}
+			return
+		}
+	}
+	// The decay sidecar travels with the snapshot for the same reason the
+	// landmark store does: a TRG2 image carries no timestamps, so without
+	// the sidecar a recovered manager could not re-derive the decayed
+	// weights the pre-crash manager held.
+	if m.cfg.DecayPath != "" && m.decay.enabled() {
+		if _, err := store.WriteDecayFile(m.cfg.DecayPath, m.decay.export()); err != nil {
 			m.stats.SnapshotFailures++
 			if m.mSnapshotFails != nil {
 				m.mSnapshotFails.Inc()
@@ -680,7 +794,7 @@ func (m *Manager) Replay(batches [][]store.EdgeDelta) (int, error) {
 func DeltasFromUpdates(batch []Update) []store.EdgeDelta {
 	out := make([]store.EdgeDelta, len(batch))
 	for i, up := range batch {
-		out[i] = store.EdgeDelta{Src: up.Edge.Src, Dst: up.Edge.Dst, Label: up.Edge.Label, Add: up.Add}
+		out[i] = store.EdgeDelta{Src: up.Edge.Src, Dst: up.Edge.Dst, Label: up.Edge.Label, Add: up.Add, At: up.At}
 	}
 	return out
 }
@@ -689,7 +803,7 @@ func DeltasFromUpdates(batch []Update) []store.EdgeDelta {
 func UpdatesFromDeltas(ds []store.EdgeDelta) []Update {
 	out := make([]Update, len(ds))
 	for i, d := range ds {
-		out[i] = Update{Edge: graph.Edge{Src: d.Src, Dst: d.Dst, Label: d.Label}, Add: d.Add}
+		out[i] = Update{Edge: graph.Edge{Src: d.Src, Dst: d.Dst, Label: d.Label}, Add: d.Add, At: d.At}
 	}
 	return out
 }
@@ -769,15 +883,33 @@ func (m *Manager) tryRefreshLocked(lms []graph.NodeID) {
 		backoff := m.cfg.RefreshBackoff
 		if backoff > 0 {
 			shift := m.refreshFails - 1
-			if shift > 3 {
-				shift = 3 // cap the window at 8x the base backoff
+			if shift > 6 {
+				shift = 6 // cap the window at 64x the base backoff
 			}
-			m.nextRefresh = time.Now().Add(backoff << shift)
+			window := backoff << shift
+			// ±25% jitter: managers that fail together (shared disk,
+			// shared fault) retry spread out instead of in lockstep.
+			window += time.Duration(m.rng.Int63n(int64(window)/2+1)) - window/4
+			m.nextRefresh = time.Now().Add(window)
 		}
 		return
 	}
 	m.refreshFails = 0
 	m.nextRefresh = time.Time{}
+}
+
+// backoffRemaining returns how much of the refresh-backoff window is
+// left (0 when the manager is not backing off).
+func (m *Manager) backoffRemaining() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nextRefresh.IsZero() {
+		return 0
+	}
+	if rem := time.Until(m.nextRefresh); rem > 0 {
+		return rem
+	}
+	return 0
 }
 
 // refreshLocked re-explores the given landmarks and clears their stale
@@ -799,6 +931,7 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 			}
 		}
 		delete(m.stale, lm)
+		delete(m.staleMeta, lm)
 		m.stats.Refreshes++
 		if m.mRefreshes != nil {
 			m.mRefreshes.Inc()
@@ -817,18 +950,25 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 func (m *Manager) Recommend(u graph.NodeID, t topics.ID, n int) ([]ranking.Scored, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.cfg.Strategy == Lazy && len(m.stale) > 0 {
-		// Refresh the stale landmarks in the query's vicinity; during a
-		// failure backoff the query proceeds against the previous store
-		// instead of waiting on (or failing with) the refresh.
+	if len(m.stale) > 0 && (m.cfg.Strategy == Lazy || m.cfg.Scheduler == SchedPriority) {
+		// One bounded BFS over the query's vicinity serves two policies:
+		// Lazy refreshes the stale landmarks the query would read, and
+		// the priority scheduler records them as traffic evidence (a
+		// stale landmark queries keep meeting outranks one nothing
+		// reads). During a failure backoff the query proceeds against
+		// the previous store instead of waiting on (or failing with)
+		// the refresh.
 		var need []graph.NodeID
 		graph.BFSOut(m.view, u, m.cfg.QueryDepth, func(v graph.NodeID, depth int) bool {
 			if m.stale[v] {
 				need = append(need, v)
+				m.noteQueryHitLocked(v)
 			}
 			return true
 		})
-		m.tryRefreshLocked(need)
+		if m.cfg.Strategy == Lazy {
+			m.tryRefreshLocked(need)
+		}
 	}
 	ap, err := landmark.NewApprox(m.eng, m.store, m.cfg.QueryDepth)
 	if err != nil {

@@ -1,0 +1,119 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// schedMgr builds a bare manager shell with hand-planted stale state —
+// scheduleLocked is pure bookkeeping, no engine needed.
+func schedMgr(kind SchedulerKind, budget int) *Manager {
+	return &Manager{
+		cfg:       Config{Scheduler: kind, RefreshBudget: budget},
+		stale:     make(map[graph.NodeID]bool),
+		staleMeta: make(map[graph.NodeID]*staleMeta),
+	}
+}
+
+func TestParseSchedulerKind(t *testing.T) {
+	for in, want := range map[string]SchedulerKind{
+		"all": SchedAll, "roundrobin": SchedRoundRobin, "rr": SchedRoundRobin,
+		"priority": SchedPriority,
+	} {
+		got, err := ParseSchedulerKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSchedulerKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if _, err := ParseSchedulerKind(got.String()); err != nil {
+			t.Fatalf("String %q does not round-trip", got)
+		}
+	}
+	if _, err := ParseSchedulerKind("fifo"); err == nil {
+		t.Fatal("unknown scheduler parsed")
+	}
+}
+
+func TestSchedAllReturnsEverythingUnbudgeted(t *testing.T) {
+	m := schedMgr(SchedAll, 1)
+	for lm := graph.NodeID(0); lm < 5; lm++ {
+		m.markStaleLocked(lm)
+	}
+	if got := m.scheduleLocked(); len(got) != 5 {
+		t.Fatalf("SchedAll scheduled %d of 5 (budget must not apply)", len(got))
+	}
+}
+
+func TestSchedRoundRobinIsFIFOAndBudgeted(t *testing.T) {
+	m := schedMgr(SchedRoundRobin, 2)
+	// Marked at batches 3, 1, 1, 2 — FIFO order 7, 9, 4, 5.
+	m.stats.Batches = 3
+	m.markStaleLocked(5)
+	m.stats.Batches = 1
+	m.markStaleLocked(9)
+	m.markStaleLocked(7)
+	m.stats.Batches = 2
+	m.markStaleLocked(4)
+	got := m.scheduleLocked()
+	want := []graph.NodeID{7, 9}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("round-robin scheduled %v, want %v", got, want)
+	}
+}
+
+func TestSchedPriorityRanksByScore(t *testing.T) {
+	m := schedMgr(SchedPriority, 3)
+	m.stats.Batches = 0
+	for lm := graph.NodeID(1); lm <= 4; lm++ {
+		m.markStaleLocked(lm)
+	}
+	m.stats.Batches = 4 // age 5 for everyone
+	// Landmark 3: heavy query traffic. Landmark 2: re-dirtied twice.
+	// Landmark 4: one query hit. Landmark 1: nothing.
+	m.noteQueryHitLocked(3)
+	m.noteQueryHitLocked(3)
+	m.noteQueryHitLocked(3)
+	m.markStaleLocked(2)
+	m.markStaleLocked(2)
+	m.noteQueryHitLocked(4)
+	// Scores: 3 → 5·4·1=20, 2 → 5·1·3=15, 4 → 5·2·1=10, 1 → 5.
+	got := m.scheduleLocked()
+	want := []graph.NodeID{3, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("priority scheduled %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority scheduled %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedPriorityTieBreaksByNodeID(t *testing.T) {
+	m := schedMgr(SchedPriority, 10)
+	for _, lm := range []graph.NodeID{9, 3, 6} {
+		m.markStaleLocked(lm)
+	}
+	got := m.scheduleLocked()
+	want := []graph.NodeID{3, 6, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal scores scheduled %v, want NodeID order %v", got, want)
+		}
+	}
+}
+
+func TestRefreshClearsStaleMeta(t *testing.T) {
+	m := schedMgr(SchedPriority, 4)
+	m.markStaleLocked(2)
+	m.noteQueryHitLocked(2)
+	delete(m.stale, 2)
+	delete(m.staleMeta, 2)
+	// A fresh mark starts from zero evidence.
+	m.stats.Batches = 7
+	m.markStaleLocked(2)
+	meta := m.staleMeta[2]
+	if meta.since != 7 || meta.hits != 0 || meta.dirty != 0 {
+		t.Fatalf("re-marked landmark kept stale evidence: %+v", *meta)
+	}
+}

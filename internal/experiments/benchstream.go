@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/landmark"
+	"repro/internal/topics"
+	"repro/internal/workload"
+)
+
+// BenchStreamSide is one scheduler's run at one offered update rate.
+type BenchStreamSide struct {
+	// Scheduler is "roundrobin" or "priority" (equal RefreshBudget).
+	Scheduler string
+	// Offered/Accepted/Rejected/Failed is the open-loop driver's
+	// conservation accounting: every scheduled arrival lands in exactly
+	// one bucket.
+	Offered, Accepted, Rejected, Failed int
+	// Applied is the pipeline's count of updates durably applied — equal
+	// to Accepted after the final flush when no update was lost.
+	Applied uint64
+	// Batches and Refreshes are the manager's maintenance counters.
+	Batches, Refreshes int
+	// Queries is the number of staleness probes taken mid-stream.
+	Queries int
+	// MeanTau is the mean Kendall-tau staleness over the mid-stream
+	// probes (dynamic.QueryStaleness): the distance between the landmark
+	// lists the probe queries consume and freshly recomputed ones.
+	MeanTau float64
+	// OfferedRate and AcceptedRate are realized events/second.
+	OfferedRate, AcceptedRate float64
+	// ZeroLoss is the acceptance check: conservation holds and every
+	// accepted update was applied.
+	ZeroLoss bool
+}
+
+// BenchStreamRate compares the two budgeted schedulers at one rate.
+type BenchStreamRate struct {
+	// TargetRate is the configured offered rate (updates/second).
+	TargetRate float64
+	Sides      []BenchStreamSide
+	// PriorityLower reports whether the priority scheduler served
+	// strictly fresher rankings (lower mean tau) than round-robin.
+	PriorityLower bool
+}
+
+// BenchStreamResult measures the streaming ingestion pipeline: ranking
+// staleness versus offered update rate under a fixed refresh budget,
+// with the priority scheduler against the round-robin baseline, plus
+// the zero-lost-updates accounting. Written to BENCH_stream.json by
+// `trbench -exp bench-stream`.
+type BenchStreamResult struct {
+	Experiment string
+	// Nodes/Edges describe the base graph; Events the churn stream
+	// length per run.
+	Nodes, Edges, Events int
+	// LandmarkN, RefreshBudget, QueueCap, MaxBatch pin the maintenance
+	// and pipeline shape shared by every side.
+	LandmarkN, RefreshBudget, QueueCap, MaxBatch int
+	// HalfLifeMs is the decay half-life driven through the pipeline.
+	HalfLifeMs int64
+	Rates      []BenchStreamRate
+	// PriorityStrictlyLower: at every rate, priority beat round-robin.
+	PriorityStrictlyLower bool
+	// ZeroLostUpdates: every side's conservation check held.
+	ZeroLostUpdates bool
+}
+
+const (
+	streamEvents = 2000
+	// Many landmarks under a budget of one refresh per batch: most of
+	// the store is stale most of the time, so WHICH landmark the
+	// scheduler repairs is what separates the policies.
+	streamLandmarks = 20
+	streamBudget    = 1
+	streamQueueCap  = 256
+	streamMaxBatch  = 64
+	streamHalfLife  = 5 * time.Second
+	streamTopK      = 10
+	streamQueryEach = 25
+)
+
+// BenchStream drives timestamped churn through the full ingestion
+// pipeline at increasing open-loop rates and probes ranking staleness
+// mid-stream.
+func (r *Runner) BenchStream() (*BenchStreamResult, error) {
+	ds := gen.RandomWith(500, 5000, r.cfg.Seed)
+	res := &BenchStreamResult{
+		Experiment:            "bench-stream",
+		Nodes:                 ds.Graph.NumNodes(),
+		Edges:                 ds.Graph.NumEdges(),
+		Events:                streamEvents,
+		LandmarkN:             streamLandmarks,
+		RefreshBudget:         streamBudget,
+		QueueCap:              streamQueueCap,
+		MaxBatch:              streamMaxBatch,
+		HalfLifeMs:            streamHalfLife.Milliseconds(),
+		PriorityStrictlyLower: true,
+		ZeroLostUpdates:       true,
+	}
+	for _, rate := range []float64{1000, 4000, 16000} {
+		ccfg := churn.DefaultConfig()
+		ccfg.Events = streamEvents
+		ccfg.Seed = r.cfg.Seed
+		ccfg.Start = int64(time.Second)
+		ccfg.Rate = rate
+		events, err := churn.Generate(ds.Graph, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		row := BenchStreamRate{TargetRate: rate}
+		for _, kind := range []dynamic.SchedulerKind{dynamic.SchedRoundRobin, dynamic.SchedPriority} {
+			side, err := r.streamSide(ds, events, kind, rate)
+			if err != nil {
+				return nil, err
+			}
+			row.Sides = append(row.Sides, side)
+			if !side.ZeroLoss {
+				res.ZeroLostUpdates = false
+			}
+		}
+		row.PriorityLower = row.Sides[1].MeanTau < row.Sides[0].MeanTau
+		if !row.PriorityLower {
+			res.PriorityStrictlyLower = false
+		}
+		res.Rates = append(res.Rates, row)
+	}
+	return res, nil
+}
+
+// streamSide is one (scheduler, rate) run: fresh manager, fresh
+// pipeline, the shared event stream offered open-loop.
+func (r *Runner) streamSide(ds *gen.Dataset, events []dynamic.Update,
+	kind dynamic.SchedulerKind, rate float64) (BenchStreamSide, error) {
+
+	lms, err := landmark.Select(ds.Graph, landmark.InDeg, streamLandmarks, landmark.DefaultSelectConfig())
+	if err != nil {
+		return BenchStreamSide{}, err
+	}
+	mgr, err := dynamic.NewManager(ds.Graph, lms, dynamic.Config{
+		Params:        core.DefaultParams(),
+		Sim:           ds.Sim,
+		StoreTopN:     100,
+		QueryDepth:    2,
+		Strategy:      dynamic.Eager,
+		Scheduler:     kind,
+		RefreshBudget: streamBudget,
+		HalfLife:      streamHalfLife,
+		DecayOrigin:   int64(time.Second),
+	})
+	if err != nil {
+		return BenchStreamSide{}, err
+	}
+	pipe := ingest.New(mgr, ingest.Config{QueueCap: streamQueueCap, MaxBatch: streamMaxBatch})
+	defer pipe.Close() //nolint:errcheck // Flush below surfaces apply errors first
+
+	// One hot probe user models skewed query traffic: the user's repeat
+	// queries concentrate hit evidence on the handful of landmarks their
+	// exploration meets (~6 of 20 here), which is exactly the signal the
+	// priority scheduler can act on and round-robin ignores.
+	probes := []graph.NodeID{57}
+	const probeTopic = topics.ID(1)
+	var tauSum float64
+	var tauN int
+	query := func(int) {
+		for _, u := range probes {
+			// The query itself: serves from the (possibly stale) landmark
+			// store and, under the priority scheduler, records which stale
+			// landmarks real traffic keeps meeting.
+			if _, err := mgr.Recommend(u, probeTopic, streamTopK); err != nil {
+				continue
+			}
+			tau, met := mgr.QueryStaleness(u, probeTopic, streamTopK)
+			if met > 0 {
+				tauSum += tau
+				tauN++
+			}
+		}
+	}
+	rep := workload.RunStream(events,
+		func(up dynamic.Update) error { return pipe.Enqueue(up) },
+		func(err error) bool { return errors.Is(err, ingest.ErrFull) },
+		query, workload.StreamConfig{Rate: rate, QueryEvery: streamQueryEach})
+	if err := pipe.Flush(); err != nil {
+		return BenchStreamSide{}, err
+	}
+	pst := pipe.Stats()
+	mst := mgr.Stats()
+	side := BenchStreamSide{
+		Scheduler:    kind.String(),
+		Offered:      rep.Offered,
+		Accepted:     rep.Accepted,
+		Rejected:     rep.Rejected,
+		Failed:       rep.Failed,
+		Applied:      pst.Applied,
+		Batches:      mst.Batches,
+		Refreshes:    mst.Refreshes,
+		Queries:      tauN,
+		OfferedRate:  rep.OfferedRate,
+		AcceptedRate: rep.AcceptedRate,
+	}
+	if tauN > 0 {
+		side.MeanTau = tauSum / float64(tauN)
+	}
+	side.ZeroLoss = rep.Offered == rep.Accepted+rep.Rejected+rep.Failed &&
+		rep.Failed == 0 &&
+		pst.Enqueued == uint64(rep.Accepted) &&
+		pst.Applied == pst.Enqueued &&
+		pst.Rejected == uint64(rep.Rejected)
+	return side, nil
+}
+
+// String renders the staleness-versus-rate table.
+func (b *BenchStreamResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "streaming pipeline: %d nodes / %d edges, %d churn events per run\n",
+		b.Nodes, b.Edges, b.Events)
+	fmt.Fprintf(&sb, "%d landmarks, refresh budget %d/batch, queue %d, batch %d, half-life %dms\n",
+		b.LandmarkN, b.RefreshBudget, b.QueueCap, b.MaxBatch, b.HalfLifeMs)
+	for _, row := range b.Rates {
+		fmt.Fprintf(&sb, "rate %6.0f/s:\n", row.TargetRate)
+		for _, s := range row.Sides {
+			fmt.Fprintf(&sb, "  %-10s tau %.4f  offered %d (%.0f/s)  accepted %d  rejected %d  refreshes %d  zero-loss %v\n",
+				s.Scheduler, s.MeanTau, s.Offered, s.OfferedRate, s.Accepted, s.Rejected, s.Refreshes, s.ZeroLoss)
+		}
+	}
+	fmt.Fprintf(&sb, "priority strictly fresher than round-robin at every rate: %v\n", b.PriorityStrictlyLower)
+	fmt.Fprintf(&sb, "zero lost updates (conservation held everywhere): %v\n", b.ZeroLostUpdates)
+	return sb.String()
+}

@@ -220,6 +220,17 @@ func (o *Overlay) PatchedLabels(f func(topics.Set)) {
 	}
 }
 
+// PatchedOut calls f for every out-row this overlay layer rebuilt, with
+// the row's merged neighbor ids (sorted ascending, as Out serves them).
+// The weight-maintenance path uses it to compute decay weights for
+// exactly the rows a batch touched — every other row keeps the weights of
+// the layer below.
+func (o *Overlay) PatchedOut(f func(u NodeID, ids []NodeID)) {
+	for u, row := range o.out {
+		f(u, row.ids)
+	}
+}
+
 // Compact folds the overlay stack into a fresh frozen CSR graph,
 // byte-identical to rebuilding the same edge set through a Builder.
 func (o *Overlay) Compact() *Graph { return Freeze(o) }

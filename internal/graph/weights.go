@@ -1,0 +1,72 @@
+package graph
+
+// EdgeWeights assigns a multiplicative per-edge weight to every out-edge
+// of a View, row-aligned with View.Out: OutWeights(u)[i] is the weight of
+// the edge to the i-th followee of u. The streaming ingestion pipeline
+// uses it to carry time-decayed recency weights — each edge's topical
+// contribution to a score is scaled by its weight — without widening the
+// View interface itself: a weight set mirrors the view it was built for
+// and layers in lockstep with the overlay stack.
+//
+// Two forms exist. The bottom form covers a frozen CSR *Graph with one
+// flat float32 array sharing the graph's row offsets; the layered form
+// patches the rows one Overlay rebuilt and falls through to its base for
+// every other row — exactly the overlay's own serving rule, so alignment
+// with Out is preserved at every depth. Like views, weight sets are
+// immutable after construction and safe for concurrent readers.
+type EdgeWeights struct {
+	base   *EdgeWeights
+	starts []uint32  // bottom form: row offsets (aliases the CSR's)
+	flat   []float32 // bottom form: one weight per CSR out-edge
+	rows   map[NodeID][]float32
+}
+
+// BuildWeights materializes the bottom weight form for a frozen graph:
+// f(u, v) is evaluated once per out-edge in CSR order. The result aliases
+// the graph's row-offset array but owns its weight storage.
+func BuildWeights(g *Graph, f func(src, dst NodeID) float32) *EdgeWeights {
+	flat := make([]float32, g.NumEdges())
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, _ := g.Out(NodeID(u))
+		base := g.outStart[u]
+		for i, v := range dsts {
+			flat[int(base)+i] = f(NodeID(u), v)
+		}
+	}
+	return &EdgeWeights{starts: g.outStart, flat: flat}
+}
+
+// Layer derives a weight set with the given rows patched over w. rows
+// must hold, for every node whose out-row the matching Overlay rebuilt, a
+// weight slice aligned with that overlay's Out row; ownership transfers
+// to the layer. Layers stack like overlays do and are folded back into a
+// bottom form (BuildWeights over the compacted CSR) at compaction.
+func (w *EdgeWeights) Layer(rows map[NodeID][]float32) *EdgeWeights {
+	return &EdgeWeights{base: w, rows: rows}
+}
+
+// OutWeights returns u's per-out-edge weights, aligned with the matching
+// view's Out(u). The slice aliases internal storage and must not be
+// modified. A nil receiver returns nil (the unit-weight contract callers
+// interpret as "all ones").
+func (w *EdgeWeights) OutWeights(u NodeID) []float32 {
+	for l := w; l != nil; l = l.base {
+		if l.rows != nil {
+			if row, ok := l.rows[u]; ok {
+				return row
+			}
+			continue
+		}
+		return l.flat[l.starts[u]:l.starts[u+1]]
+	}
+	return nil
+}
+
+// Depth returns the number of patch layers above the bottom form.
+func (w *EdgeWeights) Depth() int {
+	d := 0
+	for l := w; l != nil && l.rows != nil; l = l.base {
+		d++
+	}
+	return d
+}

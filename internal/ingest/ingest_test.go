@@ -1,0 +1,194 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/topics"
+)
+
+// countingApplier records every applied update; optionally fails after
+// acceptN batches.
+type countingApplier struct {
+	mu      sync.Mutex
+	applied []dynamic.Update
+	batches int
+	failAt  int // fail the batch with this 1-based index (0 = never)
+}
+
+func (a *countingApplier) Apply(batch []dynamic.Update) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.batches++
+	if a.failAt > 0 && a.batches >= a.failAt {
+		return errors.New("injected apply fault")
+	}
+	a.applied = append(a.applied, batch...)
+	return nil
+}
+
+func up(i int) dynamic.Update {
+	return dynamic.Update{
+		Edge: graph.Edge{Src: graph.NodeID(i % 50), Dst: graph.NodeID((i + 7) % 50), Label: topics.NewSet(0)},
+		Add:  true, At: int64(i + 1),
+	}
+}
+
+// TestPipelineAppliesInOrder: enqueued events apply exactly once, in
+// admission order.
+func TestPipelineAppliesInOrder(t *testing.T) {
+	a := &countingApplier{}
+	p := New(a, Config{QueueCap: 64, MaxBatch: 8})
+	const n = 200
+	for i := 0; i < n; i++ {
+		for {
+			if err := p.Enqueue(up(i)); err == nil {
+				break
+			} else if !errors.Is(err, ErrFull) {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.applied) != n {
+		t.Fatalf("applied %d events, want %d", len(a.applied), n)
+	}
+	for i, got := range a.applied {
+		if got.At != int64(i+1) {
+			t.Fatalf("event %d applied out of order: At=%d", i, got.At)
+		}
+	}
+	st := p.Stats()
+	if st.Enqueued != n || st.Applied != n {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Fatalf("batches = %d", st.Batches)
+	}
+}
+
+// TestPipelineZeroLoss: under concurrent producers and a queue small
+// enough to force rejections, every offered event is either applied or
+// explicitly rejected — offered == applied + rejected, exactly.
+func TestPipelineZeroLoss(t *testing.T) {
+	a := &countingApplier{}
+	p := New(a, Config{QueueCap: 16, MaxBatch: 4})
+	const producers, perProducer = 8, 300
+	var offered, accepted, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				offered.Add(1)
+				err := p.Enqueue(up(pr*perProducer + i))
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrFull):
+					rejected.Add(1)
+				default:
+					t.Errorf("unexpected enqueue error: %v", err)
+					return
+				}
+			}
+		}(pr)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if offered.Load() != accepted.Load()+rejected.Load() {
+		t.Fatalf("offered %d != accepted %d + rejected %d",
+			offered.Load(), accepted.Load(), rejected.Load())
+	}
+	if uint64(len(a.applied)) != accepted.Load() {
+		t.Fatalf("applied %d events, accepted %d: accepted events were lost",
+			len(a.applied), accepted.Load())
+	}
+	st := p.Stats()
+	if st.Rejected != rejected.Load() || st.Applied != accepted.Load() {
+		t.Fatalf("stats disagree with producers: %+v", st)
+	}
+}
+
+// TestPipelineGroupAdmissionAtomic: a group larger than the free space
+// is rejected whole — no partial admits.
+func TestPipelineGroupAdmissionAtomic(t *testing.T) {
+	a := &countingApplier{failAt: 0}
+	block := make(chan struct{})
+	gate := &gatedApplier{inner: a, gate: block, started: make(chan struct{})}
+	p := New(gate, Config{QueueCap: 4, MaxBatch: 1})
+	// First event occupies the consumer (blocked on the gate).
+	if err := p.Enqueue(up(0)); err != nil {
+		t.Fatal(err)
+	}
+	gate.waitStarted()
+	// Fill the queue, then offer a group that cannot fit.
+	for i := 1; i <= 4; i++ {
+		if err := p.Enqueue(up(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Enqueue(up(5), up(6)); !errors.Is(err, ErrFull) {
+		t.Fatalf("oversized group: err = %v, want ErrFull", err)
+	}
+	close(block)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(a.applied); got != 5 {
+		t.Fatalf("applied %d events, want the 5 admitted", got)
+	}
+}
+
+// gatedApplier blocks its first Apply until the gate opens, so tests
+// can hold the queue full deterministically.
+type gatedApplier struct {
+	inner   Applier
+	gate    chan struct{}
+	started chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedApplier) waitStarted() { <-g.started }
+
+func (g *gatedApplier) Apply(batch []dynamic.Update) error {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.gate
+	})
+	return g.inner.Apply(batch)
+}
+
+// TestPipelinePoisonSurfacesLoudly: after an apply failure nothing is
+// silently dropped — enqueues and flushes return the cause.
+func TestPipelinePoisonSurfacesLoudly(t *testing.T) {
+	a := &countingApplier{failAt: 1}
+	p := New(a, Config{QueueCap: 8, MaxBatch: 2})
+	if err := p.Enqueue(up(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err == nil {
+		t.Fatal("flush over a poisoned pipeline returned nil")
+	}
+	if err := p.Enqueue(up(1)); err == nil || errors.Is(err, ErrFull) {
+		t.Fatalf("enqueue after poison: err = %v, want the poison cause", err)
+	}
+	if err := p.Close(); err == nil {
+		t.Fatal("close of a poisoned pipeline returned nil")
+	}
+	if st := p.Stats(); st.Err == nil || st.Applied != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

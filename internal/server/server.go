@@ -27,6 +27,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/katz"
 	"repro/internal/metrics"
 	"repro/internal/ranking"
@@ -59,6 +60,11 @@ type Server struct {
 	// router, when set, answers landmark-method queries by scatter/gather
 	// over partition workers instead of the local engine.
 	router *ShardRouter
+	// pipe, when set, makes POST /v1/update enqueue into the streaming
+	// ingestion pipeline instead of applying synchronously: accepted
+	// batches answer 202 immediately, a full queue answers 429 with
+	// Retry-After — the HTTP face of the pipeline's backpressure.
+	pipe *ingest.Pipeline
 	// degradeBudget is the static floor of the degradation threshold
 	// (see degrade.go); 0 disables degradation.
 	degradeBudget time.Duration
@@ -136,6 +142,17 @@ func WithShardRouter(r *ShardRouter) Option {
 // disables result caching.
 func WithCacheSize(n int) Option {
 	return func(s *Server) { s.cacheCap = n }
+}
+
+// WithIngest routes POST /v1/update through the streaming ingestion
+// pipeline (which must consume the same manager): updates are admitted
+// into its bounded queue and applied asynchronously, with queue-full
+// backpressure surfaced as 429 + Retry-After. The result cache is
+// invalidated at admission — a window of one queue drain may serve
+// pre-update cached results, the staleness the streaming tier trades
+// for bounded write latency.
+func WithIngest(p *ingest.Pipeline) Option {
+	return func(s *Server) { s.pipe = p }
 }
 
 // New builds a server over a dynamic manager. beta is the Katz decay used
@@ -266,13 +283,26 @@ type StatsResponse struct {
 	Epoch        uint64 `json:"epoch"`
 	OverlayDepth int    `json:"overlay_depth"`
 	Compactions  int    `json:"compactions"`
+	// Ingest reports the streaming pipeline's state (present only when
+	// the server runs with WithIngest).
+	Ingest *IngestStats `json:"ingest,omitempty"`
+}
+
+// IngestStats is the /v1/stats view of the streaming pipeline.
+type IngestStats struct {
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Enqueued   uint64 `json:"enqueued"`
+	Applied    uint64 `json:"applied"`
+	Rejected   uint64 `json:"rejected"`
+	Batches    uint64 `json:"batches"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.mgr.Graph()
 	st := graph.ComputeStats(g)
 	ms := s.mgr.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Nodes:        st.Nodes,
 		Edges:        st.Edges,
 		AvgOutDegree: st.AvgOut,
@@ -284,7 +314,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Epoch:        ms.Epoch,
 		OverlayDepth: ms.OverlayDepth,
 		Compactions:  ms.Compactions,
-	})
+	}
+	if s.pipe != nil {
+		ist := s.pipe.Stats()
+		resp.Ingest = &IngestStats{
+			QueueDepth: ist.Depth, QueueCap: ist.Cap,
+			Enqueued: ist.Enqueued, Applied: ist.Applied,
+			Rejected: ist.Rejected, Batches: ist.Batches,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Recommendation is one entry of a recommendation response.
@@ -585,12 +624,15 @@ type UpdateRequest struct {
 	Updates []UpdateItem `json:"updates"`
 }
 
-// UpdateItem is one change.
+// UpdateItem is one change. At optionally carries the event's Unix
+// nanosecond timestamp for the time-decayed ingestion path; 0 lets the
+// manager stamp arrival time.
 type UpdateItem struct {
 	Src    uint32   `json:"src"`
 	Dst    uint32   `json:"dst"`
 	Topics []string `json:"topics"`
 	Remove bool     `json:"remove,omitempty"`
+	At     int64    `json:"at,omitempty"`
 }
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
@@ -632,7 +674,34 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		batch = append(batch, dynamic.Update{
 			Edge: graph.Edge{Src: graph.NodeID(item.Src), Dst: graph.NodeID(item.Dst), Label: lbl},
 			Add:  !item.Remove,
+			At:   item.At,
 		})
+	}
+	if s.pipe != nil {
+		// Streaming path: admit into the bounded pipeline. ErrFull is the
+		// backpressure contract — nothing was admitted, the client backs
+		// off and retries the whole batch.
+		if err := s.pipe.Enqueue(batch...); err != nil {
+			if errors.Is(err, ingest.ErrFull) {
+				w.Header().Set("Retry-After", "1")
+				s.updatesRejected.Add(uint64(len(batch)))
+				s.writeError(w, errf(http.StatusTooManyRequests, CodeOverloaded,
+					"ingestion queue full, retry later"))
+				return
+			}
+			s.writeError(w, errf(http.StatusInternalServerError, CodeInternal, "enqueuing updates: %v", err))
+			return
+		}
+		s.updatesApplied.Add(uint64(len(batch)))
+		s.cache.invalidate()
+		s.cacheInvals.Inc()
+		ist := s.pipe.Stats()
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"accepted":    len(batch),
+			"queue_depth": ist.Depth,
+			"queue_cap":   ist.Cap,
+		})
+		return
 	}
 	if err := s.mgr.Apply(batch); err != nil {
 		s.writeError(w, errf(http.StatusInternalServerError, CodeInternal, "applying updates: %v", err))

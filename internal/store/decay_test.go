@@ -1,0 +1,79 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testDecayState() *DecayState {
+	return &DecayState{
+		Ref:    1_700_000_000_000_000_000,
+		Origin: 1_690_000_000_000_000_000,
+		Edges: []DecayEdge{
+			{Src: 1, Dst: 2, At: 1_700_000_001_000_000_000},
+			{Src: 3, Dst: 0, At: 1_700_000_002_500_000_000},
+			{Src: 2, Dst: 4, At: 1_700_000_003_000_000_000},
+		},
+	}
+}
+
+func TestDecaySidecarRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.trdk")
+	want := testDecayState()
+	if _, err := WriteDecayFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDecayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != want.Ref || got.Origin != want.Origin {
+		t.Fatalf("scalars: got (%d,%d), want (%d,%d)", got.Ref, got.Origin, want.Ref, want.Origin)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("edge count: got %d, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("edge %d: got %+v, want %+v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+}
+
+func TestDecaySidecarEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.trdk")
+	if _, err := WriteDecayFile(path, &DecayState{Ref: 7, Origin: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDecayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != 7 || got.Origin != 3 || len(got.Edges) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecaySidecarRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.trdk")
+	if _, err := WriteDecayFile(path, testDecayState()); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped body": func(b []byte) []byte { b[decayHeaderLen+5] ^= 0x40; return b },
+		"flipped ref":  func(b []byte) []byte { b[17] ^= 0x01; return b },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xff; return b },
+	}
+	for name, mutate := range cases {
+		buf := mutate(append([]byte(nil), clean...))
+		if _, err := decodeDecay(buf); err == nil {
+			t.Errorf("%s: corrupt sidecar decoded without error", name)
+		}
+	}
+}

@@ -87,6 +87,37 @@ func FuzzOpenLandmarks(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDecay: a decay sidecar of arbitrary bytes must decode or
+// error, never panic or over-allocate.
+func FuzzDecodeDecay(f *testing.F) {
+	path := filepath.Join(f.TempDir(), "g.trdk")
+	if _, err := WriteDecayFile(path, &DecayState{
+		Ref:    42,
+		Origin: 7,
+		Edges:  []DecayEdge{{Src: 1, Dst: 2, At: 99}, {Src: 2, Dst: 0, At: 100}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clean)
+	f.Add(clean[:len(clean)-1])
+	flip := append([]byte(nil), clean...)
+	flip[decayHeaderLen+3] ^= 0x10
+	f.Add(flip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := decodeDecay(data)
+		if err != nil {
+			return
+		}
+		if uint64(len(data)-decayHeaderLen) != uint64(len(s.Edges))*decayEdgeLen {
+			t.Fatalf("accepted sidecar with %d edges from %d bytes", len(s.Edges), len(data))
+		}
+	})
+}
+
 // FuzzScanWAL: replay over arbitrary bytes must return only fully
 // validated batches and a cut offset inside the input.
 func FuzzScanWAL(f *testing.F) {
@@ -113,19 +144,23 @@ func FuzzScanWAL(f *testing.F) {
 	flip[walHeaderLen+walFrameLen+1] ^= 0x01
 	f.Add(flip)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		batches, valid := scanWAL(data)
-		if valid < walHeaderLen || valid > int64(len(data)) {
-			// A sub-header file never reaches scanWAL in production
-			// (OpenWAL rejects it), but the cut must still be sane.
-			if len(data) >= walHeaderLen {
-				t.Fatalf("cut offset %d outside [%d,%d]", valid, walHeaderLen, len(data))
+		// Both frame layouts must hold against arbitrary bytes: the
+		// timestamped v2 decoder and the legacy v1 width.
+		for _, dlen := range []int{deltaLenV1, deltaLenV2} {
+			batches, valid := scanWAL(data, dlen)
+			if valid < walHeaderLen || valid > int64(len(data)) {
+				// A sub-header file never reaches scanWAL in production
+				// (OpenWAL rejects it), but the cut must still be sane.
+				if len(data) >= walHeaderLen {
+					t.Fatalf("dlen %d: cut offset %d outside [%d,%d]", dlen, valid, walHeaderLen, len(data))
+				}
 			}
-		}
-		// Every returned batch must be non-empty: Append refuses empty
-		// batches, so a decoded empty one means a forged frame slipped by.
-		for i, b := range batches {
-			if len(b) == 0 {
-				t.Fatalf("batch %d decoded empty", i)
+			// Every returned batch must be non-empty: Append refuses empty
+			// batches, so a decoded empty one means a forged frame slipped by.
+			for i, b := range batches {
+				if len(b) == 0 {
+					t.Fatalf("dlen %d: batch %d decoded empty", dlen, i)
+				}
 			}
 		}
 	})

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dynamic"
+)
+
+// Open-loop streaming driver. The query harness in workload.go is
+// closed-loop — the next request waits for the previous answer — which
+// measures latency but silently slows its offered rate when the system
+// slows down, hiding overload. This driver is open-loop: update events
+// are offered on a fixed wall-clock schedule derived from the target
+// rate regardless of how the system is doing, so a system that cannot
+// keep up visibly rejects (backpressure) instead of invisibly slowing
+// the generator. Queries interleave with the update stream at a
+// configurable ratio, modelling the sustained mixed read/write load of
+// a live micro-blogging system.
+
+// StreamConfig shapes one open-loop run.
+type StreamConfig struct {
+	// Rate is the target offered update rate in updates/second.
+	// <= 0 offers as fast as possible (no pacing).
+	Rate float64
+	// QueryEvery interleaves one query per QueryEvery offered updates
+	// (0 = updates only).
+	QueryEvery int
+}
+
+// StreamReport is the accounting of one open-loop run. Conservation
+// holds exactly: Offered == Accepted + Rejected + Failed.
+type StreamReport struct {
+	// Offered counts scheduled update events; Accepted those the sink
+	// admitted, Rejected the explicit backpressure rejections, Failed
+	// the hard errors (anything that is neither acceptance nor
+	// backpressure).
+	Offered, Accepted, Rejected, Failed int
+	// Queries counts interleaved query calls.
+	Queries int
+	// Wall is the run's duration.
+	Wall time.Duration
+	// OfferedRate and AcceptedRate are events/second over Wall: how
+	// hard the driver pushed, and how much the system actually took.
+	OfferedRate, AcceptedRate float64
+}
+
+// String renders one report row.
+func (r StreamReport) String() string {
+	return fmt.Sprintf("offered %d (%.0f/s)  accepted %d (%.0f/s)  rejected %d  failed %d  queries %d  wall %s",
+		r.Offered, r.OfferedRate, r.Accepted, r.AcceptedRate, r.Rejected, r.Failed, r.Queries,
+		r.Wall.Round(time.Millisecond))
+}
+
+// RunStream offers every update on the open-loop schedule. offer is the
+// write path (e.g. a Pipeline's Enqueue): a nil return is acceptance, a
+// backpressure=true classification counts as rejection, anything else
+// as failure. query, when non-nil, is called synchronously per
+// QueryEvery updates with the count of updates offered so far. The
+// driver never retries — an open-loop generator models arrivals, and a
+// rejected arrival is lost to the system, which is exactly what the
+// staleness experiments need to account for.
+func RunStream(updates []dynamic.Update, offer func(dynamic.Update) error,
+	backpressure func(error) bool, query func(offered int), cfg StreamConfig) StreamReport {
+
+	var rep StreamReport
+	start := time.Now()
+	var spacing time.Duration
+	if cfg.Rate > 0 {
+		spacing = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	for i, up := range updates {
+		if spacing > 0 {
+			// Open loop: event i is due at start + i*spacing. Sleep only
+			// when ahead of schedule; when behind, offer immediately and
+			// let the backlog burst out (the schedule, not the system,
+			// owns the arrival times).
+			due := start.Add(time.Duration(i) * spacing)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		rep.Offered++
+		switch err := offer(up); {
+		case err == nil:
+			rep.Accepted++
+		case backpressure != nil && backpressure(err):
+			rep.Rejected++
+		default:
+			rep.Failed++
+		}
+		if cfg.QueryEvery > 0 && query != nil && rep.Offered%cfg.QueryEvery == 0 {
+			query(rep.Offered)
+			rep.Queries++
+		}
+	}
+	rep.Wall = time.Since(start)
+	if rep.Wall > 0 {
+		rep.OfferedRate = float64(rep.Offered) / rep.Wall.Seconds()
+		rep.AcceptedRate = float64(rep.Accepted) / rep.Wall.Seconds()
+	}
+	return rep
+}
