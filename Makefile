@@ -20,7 +20,7 @@ test:
 # permutation boundary and the float32 kernel are race-checked on every
 # check too; a full -race run over the repository is `make race-all`.
 race:
-	$(GO) test -race ./internal/server/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/... ./internal/store/... ./internal/ingest/...
+	$(GO) test -race ./internal/server/... ./internal/subscribe/... ./internal/client/... ./internal/metrics/... ./internal/dynamic/... ./internal/landmark/... ./internal/eval/... ./internal/graph/... ./internal/core/... ./internal/distrib/... ./internal/store/... ./internal/ingest/...
 
 .PHONY: race-all
 race-all:
@@ -96,6 +96,16 @@ bench-store:
 .PHONY: bench-stream
 bench-stream:
 	$(GO) run ./cmd/trbench -exp bench-stream -bench-out BENCH_stream.json
+
+# bench-subscribe drives the push-mode standing-query tier over a real
+# HTTP listener and rewrites BENCH_subscribe.json: SSE push latency
+# percentiles at open-loop update rates, the dirty-mark coalescing
+# ratio, and the zero-lost-deltas gate under subscriber churn (no
+# sequence gaps, no slow-consumer drops, and every consumer's
+# reconstructed top-k equal to a fresh GET /v1/recommend).
+.PHONY: bench-subscribe
+bench-subscribe:
+	$(GO) run ./cmd/trbench -exp bench-subscribe -bench-out BENCH_subscribe.json
 
 # bench-kernel compares the seed dense exploration against the
 # cache-topology-aware float32 kernel under both relabeling orders and

@@ -67,7 +67,7 @@ func main() {
 	// reproducing a paper artifact; they print the comparison and write
 	// the machine-readable result next to the repository's other
 	// committed benchmark files.
-	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" || *exp == "bench-store" || *exp == "bench-stream" {
+	if *exp == "bench-eval" || *exp == "bench-graph" || *exp == "bench-serve" || *exp == "bench-kernel" || *exp == "bench-shard" || *exp == "bench-store" || *exp == "bench-stream" || *exp == "bench-subscribe" {
 		var (
 			res interface{ String() string }
 			err error
@@ -108,6 +108,11 @@ func main() {
 			res, err = r.BenchStream()
 			if out == "" {
 				out = "BENCH_stream.json"
+			}
+		case "bench-subscribe":
+			res, err = r.BenchSubscribe()
+			if out == "" {
+				out = "BENCH_subscribe.json"
 			}
 		}
 		if err != nil {

@@ -26,8 +26,16 @@
 //	trserver -ingest-queue 4096 -half-life 24h -decay-path data/decay.trdk \
 //	         -refresh-sched priority -refresh-budget 4
 //
-// The unversioned routes (/recommend, /updates, ...) remain as
-// deprecated aliases of the /v1 surface.
+// Standing queries push top-k deltas instead of being polled:
+//
+//	curl -X POST localhost:8080/v1/subscribe -d '{"user":42,"topic":"technology","n":5}'
+//	curl -N localhost:8080/v1/subscribe/s1/events            # SSE stream
+//	curl 'localhost:8080/v1/subscribe/s1/events?mode=poll'   # long-poll
+//
+// The pre-versioning unversioned routes (/recommend, /updates, ...)
+// answer 404 unless -enable-legacy-routes re-enables them as sunset
+// aliases stamping Deprecation/Sunset headers. See API.md for the full
+// /v1 reference.
 package main
 
 import (
@@ -77,6 +85,10 @@ func main() {
 		batchMax  = flag.Int("ingest-batch", 256, "max updates the ingestion consumer coalesces into one apply")
 		schedFlag = flag.String("refresh-sched", "all", "stale-landmark refresh scheduler: all, roundrobin, priority")
 		budget    = flag.Int("refresh-budget", 4, "stale landmarks refreshed per opportunity under the budgeted schedulers")
+		maxSubs   = flag.Int("max-subscriptions", 0, "cap on live standing queries (POST /v1/subscribe; 0 uses the default of 1024)")
+		rescoreB  = flag.Int("rescore-budget", 0, "subscription re-scores per hub worker cycle (0 uses the default of 32)")
+		eventBuf  = flag.Int("event-buffer", 0, "events retained per subscription for resume/long-poll (0 uses the default of 64)")
+		legacy    = flag.Bool("enable-legacy-routes", false, "serve the sunset unversioned aliases (/recommend, /updates, ...) with Deprecation/Sunset headers; off answers 404")
 	)
 	flag.IntVar(&admission.MaxInflight, "max-inflight", admission.MaxInflight, "concurrent recommendation computations (0 disables admission control)")
 	flag.IntVar(&admission.MaxQueue, "max-queue", admission.MaxQueue, "computations that may queue for a slot before requests are shed with 429")
@@ -234,6 +246,10 @@ func main() {
 	srvOpts := []server.Option{
 		server.WithMetrics(reg), server.WithRequestTimeout(*reqTmo),
 		server.WithAdmission(admission), server.WithDegradeBudget(*degradeB),
+		server.WithSubscriptions(server.SubscriptionConfig{
+			MaxSubscriptions: *maxSubs, RescoreBudget: *rescoreB, EventBuffer: *eventBuf,
+		}),
+		server.WithLegacyRoutes(*legacy),
 	}
 	if *queueCap > 0 {
 		pipe := ingest.New(mgr, ingest.Config{QueueCap: *queueCap, MaxBatch: *batchMax, Metrics: reg})
@@ -250,6 +266,7 @@ func main() {
 		log.Printf("router mode: scatter/gather over %d shards", len(groups))
 	}
 	srv := server.New(mgr, core.DefaultParams().Beta, srvOpts...)
+	defer srv.Close()
 	fmt.Printf("serving on %s (try /v1/health, /v1/topics, /v1/stats, /v1/metrics, /v1/recommend?user=42&topic=technology)\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

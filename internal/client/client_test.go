@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRecommendQuery(t *testing.T) {
+	cases := []struct {
+		req  RecommendRequest
+		want string
+	}{
+		{RecommendRequest{User: 11, Topic: "technology"}, "topic=technology&user=11"},
+		{RecommendRequest{User: 11, Topic: "technology", N: 5}, "n=5&topic=technology&user=11"},
+		{RecommendRequest{User: 0, Topic: "a b", N: 3, Method: "tr"}, "method=tr&n=3&topic=a+b&user=0"},
+	}
+	for _, c := range cases {
+		if got := recommendQuery(c.req); got != c.want {
+			t.Errorf("recommendQuery(%+v) = %q, want %q", c.req, got, c.want)
+		}
+	}
+}
+
+func TestAPIErrorConversion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/health":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"error":{"code":"overloaded","message":"try later"}}`)
+		case "/v1/stats":
+			// A non-JSON error body must still convert, with the raw
+			// bytes preserved as the message.
+			w.WriteHeader(http.StatusBadGateway)
+			io.WriteString(w, "upstream fell over")
+		default:
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, `{}`)
+		}
+	}))
+	defer srv.Close()
+	c := New(srv.URL+"/", nil) // trailing slash must be trimmed
+
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("Health error = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != "overloaded" || apiErr.Message != "try later" {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Error(), "429") || !strings.Contains(apiErr.Error(), "overloaded") {
+		t.Errorf("Error() = %q", apiErr.Error())
+	}
+
+	_, err = c.Stats(context.Background())
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("Stats error = %v, want *APIError", err)
+	}
+	if apiErr.Status != http.StatusBadGateway || apiErr.Code != CodeInternal {
+		t.Errorf("non-envelope APIError = %+v", apiErr)
+	}
+	if !strings.Contains(apiErr.Message, "upstream fell over") {
+		t.Errorf("raw body not preserved: %q", apiErr.Message)
+	}
+}
+
+func TestDoReturnsStatusWithoutError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":{"code":"not_found","message":"nope"}}`)
+	}))
+	defer srv.Close()
+
+	var env ErrorEnvelope
+	status, err := New(srv.URL, nil).Do(context.Background(), http.MethodGet, "/v1/x", nil, &env)
+	if err != nil {
+		t.Fatalf("Do returned error for non-2xx: %v", err)
+	}
+	if status != http.StatusNotFound || env.Error.Code != "not_found" {
+		t.Errorf("status=%d env=%+v", status, env)
+	}
+}
+
+// stubStream feeds a canned SSE byte stream to the parser.
+func stubStream(raw string) *EventStream {
+	return newEventStream(io.NopCloser(strings.NewReader(raw)))
+}
+
+func TestEventStreamParsing(t *testing.T) {
+	raw := ": keep-alive\n" +
+		"\n" +
+		"id: 1\n" +
+		"event: topk\n" +
+		`data: {"seq":1,"epoch":0,"reset":true,"top":[{"user":4,"score":2.5}]}` + "\n" +
+		"\n" +
+		": keep-alive\n" +
+		"id: 2\n" +
+		"event: other\n" +
+		`data: {"seq":99}` + "\n" +
+		"\n" +
+		"id: 2\n" +
+		"event: topk\n" +
+		`data: {"seq":2,"epoch":3,"added":[7],` + "\n" +
+		`data: "removed":[4]}` + "\n" +
+		"\n"
+	s := stubStream(raw)
+	defer s.Close()
+
+	ev, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Reset || ev.Seq != 1 || len(ev.Top) != 1 || ev.Top[0].User != 4 {
+		t.Errorf("first event = %+v", ev)
+	}
+
+	// The unknown "other" frame is skipped; the multi-line data frame is
+	// reassembled with its continuation joined by a newline (valid JSON
+	// whitespace).
+	ev, err = s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 2 || ev.Epoch != 3 || len(ev.Added) != 1 || ev.Added[0] != 7 || len(ev.Removed) != 1 {
+		t.Errorf("second event = %+v", ev)
+	}
+
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("exhausted stream returned %v, want io.EOF", err)
+	}
+}
+
+func TestEventStreamBadJSON(t *testing.T) {
+	s := stubStream("id: 1\nevent: topk\ndata: {nope\n\n")
+	defer s.Close()
+	if _, err := s.Next(); err == nil {
+		t.Fatal("malformed data frame did not error")
+	}
+}

@@ -1,0 +1,75 @@
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventStream reads text/event-stream frames from an open subscription
+// stream. It is not safe for concurrent use.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+func newEventStream(body io.ReadCloser) *EventStream {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &EventStream{body: body, sc: sc}
+}
+
+// Next blocks until the next event arrives, the stream ends (io.EOF) or
+// the request context is cancelled. Comment keep-alives (": ..." lines)
+// are skipped transparently.
+func (s *EventStream) Next() (Event, error) {
+	var (
+		data  strings.Builder
+		typ   string
+		gotID bool
+	)
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch if we accumulated data.
+			if data.Len() > 0 || gotID {
+				if typ != "" && typ != "topk" {
+					// Unknown event type: skip the frame.
+					data.Reset()
+					typ = ""
+					gotID = false
+					continue
+				}
+				var ev Event
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return Event{}, fmt.Errorf("decoding SSE event: %w", err)
+				}
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// Keep-alive comment.
+		case strings.HasPrefix(line, "id:"):
+			gotID = true
+		case strings.HasPrefix(line, "event:"):
+			typ = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// Close tears down the underlying response body; a blocked Next returns
+// after Close.
+func (s *EventStream) Close() error {
+	return s.body.Close()
+}

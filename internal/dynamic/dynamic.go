@@ -229,6 +229,42 @@ type Stats struct {
 	SnapshotFailures int
 }
 
+// BatchEffect describes what one applied batch may have changed — the
+// dirty set PR 3's ApplyDelta computes internally, exported so a
+// subscription hub can invert it into an affected-subscription index.
+// The fields are conservative supersets: a recommendation whose
+// dependency set is disjoint from every field is guaranteed unchanged
+// (unless Global is set), while overlap only means "re-score to find
+// out".
+type BatchEffect struct {
+	// Epoch is the graph epoch installed by this batch (after any
+	// compaction increment).
+	Epoch uint64
+	// Endpoints are the distinct sources and destinations of the batch's
+	// edge changes. Paths through any of them — and the destinations'
+	// authority rows, patched by ApplyDelta — may have moved.
+	Endpoints []graph.NodeID
+	// StaleLandmarks are the landmarks this batch marked stale: their
+	// stored lists no longer match the graph, so queries meeting them
+	// may shift when the refresh lands.
+	StaleLandmarks []graph.NodeID
+	// Refreshed are the landmarks whose stored lists were rewritten
+	// while applying this batch (Eager/Threshold strategies, budgeted
+	// schedulers). A refresh can fold in staleness from *earlier*
+	// batches, so it dirties dependents even when the landmark is not in
+	// this batch's StaleLandmarks.
+	Refreshed []graph.NodeID
+	// Global marks effects that are not localized: large batches
+	// (authority.Recompute rewrites every row) and compactions
+	// (re-anchored decay reference, fresh authority, relayout). Every
+	// standing query must re-score.
+	Global bool
+	// OldestAt is the smallest nonzero event timestamp (Unix ns) in the
+	// batch — the ingest-accept anchor for push-latency measurement. 0
+	// when no update carried a timestamp.
+	OldestAt int64
+}
+
 // Manager maintains a queryable recommendation state under updates.
 // Methods are safe for one writer OR many readers; Apply must not run
 // concurrently with queries.
@@ -273,6 +309,14 @@ type Manager struct {
 	// refreshErrHook, when non-nil, is consulted before every refresh run
 	// — the test seam for injecting refresh failures.
 	refreshErrHook func() error
+
+	// Batch-effect export (SetBatchHook): applyLocked collects one
+	// BatchEffect per applied batch into pendingFx via the collectFx
+	// cursor; Apply/Replay fire the hook after releasing mu so the
+	// callback may query the manager freely.
+	onBatch   func(BatchEffect)
+	pendingFx []BatchEffect
+	collectFx *BatchEffect
 
 	// Instrumentation: nil registry means no recording. The counters are
 	// resolved once at Instrument time so Apply's hot path is pure
@@ -524,17 +568,89 @@ type Update struct {
 // add of the same (src, dst), matching the legacy rebuild semantics.
 func (m *Manager) Apply(batch []Update) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.applyLocked(batch, true)
+	err := m.applyLocked(batch, true)
+	fx, hook := m.takeEffectsLocked()
+	m.mu.Unlock()
+	for _, f := range fx {
+		hook(f)
+	}
+	return err
 }
 
-// applyLocked is Apply under mu. durable controls the storage tier:
-// live batches are WAL-appended before their epoch installs and persist
-// compactions as snapshots; replayed batches (already in the log) do
-// neither — in particular a replay-triggered compaction must not
-// truncate the WAL, because the batches still pending replay exist
-// nowhere else.
+// SetBatchHook registers fn to observe a BatchEffect for every batch
+// successfully applied from then on (Apply and Replay alike). The hook
+// fires after the manager's lock is released — in apply order, from the
+// applying goroutine — so fn may call back into the manager. One hook;
+// nil unregisters.
+func (m *Manager) SetBatchHook(fn func(BatchEffect)) {
+	m.mu.Lock()
+	m.onBatch = fn
+	m.mu.Unlock()
+}
+
+// takeEffectsLocked drains the pending effects together with the hook to
+// deliver them to. Caller holds mu; the returned hook is non-nil only
+// when there is something to fire.
+func (m *Manager) takeEffectsLocked() ([]BatchEffect, func(BatchEffect)) {
+	if len(m.pendingFx) == 0 || m.onBatch == nil {
+		m.pendingFx = m.pendingFx[:0]
+		return nil, nil
+	}
+	fx := m.pendingFx
+	m.pendingFx = nil
+	return fx, m.onBatch
+}
+
+// Neighborhood returns the dependency set of a recommendation for u: the
+// nodes reached by the query's own exploration — depth QueryDepth for
+// the landmark approximation (exact=false), the convergence depth
+// Params.MaxDepth for exact Tr (exact=true). The BFS is deliberately
+// unpruned: the approximate path stops exploring at met landmarks, but a
+// re-score refreshes any stale landmark it meets, so the stored lists it
+// reads are recomputed from exactly this region's state. A batch none of
+// whose BatchEffect nodes intersect this set cannot change the result
+// (unless Global). Lock-free: runs over the published view.
+func (m *Manager) Neighborhood(u graph.NodeID, exact bool) []graph.NodeID {
+	depth := m.cfg.QueryDepth
+	if exact {
+		depth = m.cfg.Params.MaxDepth
+	}
+	var out []graph.NodeID
+	graph.BFSOut(m.Graph(), u, depth, func(v graph.NodeID, _ int) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// applyLocked is Apply under mu: effect collection around
+// applyInnerLocked. durable is threaded through (see applyInnerLocked).
 func (m *Manager) applyLocked(batch []Update, durable bool) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if m.onBatch == nil {
+		return m.applyInnerLocked(batch, durable)
+	}
+	fx := &BatchEffect{}
+	m.collectFx = fx
+	err := m.applyInnerLocked(batch, durable)
+	m.collectFx = nil
+	if err != nil {
+		return err
+	}
+	fx.Epoch = m.stats.Epoch
+	m.pendingFx = append(m.pendingFx, *fx)
+	return nil
+}
+
+// applyInnerLocked is the apply body under mu. durable controls the
+// storage tier: live batches are WAL-appended before their epoch
+// installs and persist compactions as snapshots; replayed batches
+// (already in the log) do neither — in particular a replay-triggered
+// compaction must not truncate the WAL, because the batches still
+// pending replay exist nowhere else.
+func (m *Manager) applyInnerLocked(batch []Update, durable bool) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -557,6 +673,25 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 					batch[i].At = now
 				}
 			}
+		}
+	}
+	if fx := m.collectFx; fx != nil {
+		seen := make(map[graph.NodeID]struct{}, 2*len(batch))
+		for _, up := range batch {
+			for _, v := range [2]graph.NodeID{up.Edge.Src, up.Edge.Dst} {
+				if _, dup := seen[v]; !dup {
+					seen[v] = struct{}{}
+					fx.Endpoints = append(fx.Endpoints, v)
+				}
+			}
+			if up.At != 0 && (fx.OldestAt == 0 || up.At < fx.OldestAt) {
+				fx.OldestAt = up.At
+			}
+		}
+		// Large batches take the authority.Recompute path below, which
+		// rewrites every row — no locality to exploit.
+		if len(batch) > 8 {
+			fx.Global = true
 		}
 	}
 	var adds, removes []graph.Edge
@@ -669,6 +804,9 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 			return err
 		}
 		compacted = true
+		if fx := m.collectFx; fx != nil {
+			fx.Global = true
+		}
 	}
 	m.stats.Batches++
 	if m.mBatches != nil {
@@ -679,8 +817,12 @@ func (m *Manager) applyLocked(batch []Update, durable bool) error {
 	// Mark affected landmarks. Authority scores shift globally with every
 	// degree change, but the dominant staleness comes from path changes:
 	// a landmark is affected when it reaches a changed edge's source.
-	for _, lm := range m.affectedLandmarks(batch) {
+	affected := m.affectedLandmarks(batch)
+	for _, lm := range affected {
 		m.markStaleLocked(lm)
+	}
+	if fx := m.collectFx; fx != nil {
+		fx.StaleLandmarks = affected
 	}
 
 	switch m.cfg.Strategy {
@@ -777,17 +919,25 @@ func (m *Manager) persistSnapshotLocked() {
 // with the loaded graph, which recovery must surface, not skip).
 func (m *Manager) Replay(batches [][]store.EdgeDelta) (int, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var applyErr error
+	applied := len(batches)
 	for i, b := range batches {
 		if err := m.applyLocked(UpdatesFromDeltas(b), false); err != nil {
-			return i, fmt.Errorf("dynamic: replaying batch %d of %d: %w", i, len(batches), err)
+			applyErr = fmt.Errorf("dynamic: replaying batch %d of %d: %w", i, len(batches), err)
+			applied = i
+			break
 		}
 		m.stats.WALReplayed++
 		if m.mWALReplayed != nil {
 			m.mWALReplayed.Inc()
 		}
 	}
-	return len(batches), nil
+	fx, hook := m.takeEffectsLocked()
+	m.mu.Unlock()
+	for _, f := range fx {
+		hook(f)
+	}
+	return applied, applyErr
 }
 
 // DeltasFromUpdates converts a batch to its WAL payload form.
@@ -941,6 +1091,12 @@ func (m *Manager) refreshLocked(lms []graph.NodeID) error {
 	// generation; restamp the store (list contents are exact float64 and
 	// layout-independent, the epoch records provenance).
 	m.store.SetLayoutEpoch(m.stats.LayoutEpoch)
+	// Refreshes running inside an apply may repair staleness left by
+	// earlier batches — report them so dependents of those landmarks
+	// re-score too.
+	if fx := m.collectFx; fx != nil {
+		fx.Refreshed = append(fx.Refreshed, lms...)
+	}
 	return nil
 }
 

@@ -1,0 +1,459 @@
+// benchsubscribe.go drives the standing-query hub end to end over a real
+// HTTP listener: persistent subscribers tail their SSE streams while an
+// open-loop driver pushes timestamped update batches at increasing rates
+// and a churner registers and tears down extra subscriptions throughout.
+// Reported per rate: push latency percentiles (update accept to delta
+// receipt), the mark-coalescing ratio, and the zero-lost-deltas check
+// (contiguous sequence numbers, no slow-consumer drops, and the delta
+// stream's final state equal to a fresh GET /v1/recommend). Written to
+// BENCH_subscribe.json by `trbench -exp bench-subscribe`.
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+const (
+	benchSubSubscribers = 16
+	benchSubUpdates     = 1500
+	benchSubSenders     = 4
+	benchSubTopK        = 10
+	benchSubTogglePairs = 64
+	// benchSubBatch is the updates carried per POST /v1/update: the rate
+	// is offered in updates/second, so one POST covers benchSubBatch
+	// schedule slots — without it the synchronous apply path (which
+	// contends with re-scoring for the manager lock) caps the realized
+	// rate far below the target.
+	benchSubBatch = 25
+)
+
+var benchSubRates = []float64{1000, 4000}
+
+// BenchSubscribeRate is the measured behaviour at one offered update
+// rate.
+type BenchSubscribeRate struct {
+	// TargetRate and OfferedRate are configured and realized updates/s.
+	TargetRate, OfferedRate float64
+	// Updates is the update batches driven; Subscribers the persistent
+	// SSE consumers; Churned the subscribe/poll/unsubscribe cycles the
+	// churner completed during the run.
+	Updates, Subscribers, Churned int
+	// EventsReceived is the total delta events the persistent consumers
+	// read off their streams; Timed the subset carrying a trigger
+	// timestamp (the push-latency sample set).
+	EventsReceived, Timed int
+	// PushP50US and PushP99US are push-latency percentiles in
+	// microseconds: update accepted by POST /v1/update to delta decoded
+	// off the subscriber's SSE stream.
+	PushP50US, PushP99US int64
+	// Rescores, RescoreMarks and RescoresCoalesced are the hub counter
+	// deltas for this rate; CoalesceRatio is coalesced/marks — the
+	// fraction of dirty marks absorbed by an already-queued re-score.
+	Rescores, RescoreMarks, RescoresCoalesced uint64
+	CoalesceRatio                             float64
+	// PushesSuppressed counts re-scores whose top-k did not change;
+	// Dropped the slow-consumer disconnects (must stay 0).
+	PushesSuppressed, Dropped uint64
+	// SeqGaps counts sequence discontinuities observed by any persistent
+	// consumer (must stay 0); FinalConsistent reports that every
+	// consumer's last pushed top-k matched a fresh GET /v1/recommend
+	// after the run quiesced.
+	SeqGaps         int
+	FinalConsistent bool
+	// ZeroLostDeltas: no gaps, no drops, final state consistent.
+	ZeroLostDeltas bool
+}
+
+// BenchSubscribeResult is the bench-subscribe artifact and its gates:
+// ZeroLostDeltas everywhere (the push pipeline loses nothing under
+// churn) and CoalesceActive at the highest rate (the dirty-queue
+// coalescing actually absorbs marks when updates outpace re-scoring).
+type BenchSubscribeResult struct {
+	Experiment     string
+	Nodes, Edges   int
+	Landmarks      int
+	Rates          []BenchSubscribeRate
+	ZeroLostDeltas bool
+	CoalesceActive bool
+}
+
+// benchSubReader tails one subscription's SSE stream, recording push
+// latencies, sequence gaps and the last event seen.
+type benchSubReader struct {
+	sub *client.Subscription
+
+	mu      sync.Mutex
+	lats    []time.Duration
+	events  int
+	gaps    int
+	lastSeq uint64
+	last    client.Event
+}
+
+func (r *benchSubReader) run(stream *client.EventStream, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer stream.Close()
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			return // EOF after unsubscribe, or the run tearing down
+		}
+		recv := time.Now().UnixNano()
+		r.mu.Lock()
+		r.events++
+		if r.lastSeq != 0 && ev.Seq != r.lastSeq+1 {
+			r.gaps++
+		}
+		r.lastSeq = ev.Seq
+		r.last = ev
+		if ev.TriggerUnixNs > 0 && recv > ev.TriggerUnixNs {
+			r.lats = append(r.lats, time.Duration(recv-ev.TriggerUnixNs))
+		}
+		r.mu.Unlock()
+	}
+}
+
+// benchSubToggle is the shared update source: pre-picked non-edges from
+// subscriber users, flipped add/remove so every batch moves a subscribed
+// neighborhood without drifting the graph.
+type benchSubToggle struct {
+	mu      sync.Mutex
+	pairs   [][2]int
+	present []bool
+	next    int
+	topic   string
+}
+
+func (t *benchSubToggle) take() client.UpdateItem {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := t.next % len(t.pairs)
+	t.next++
+	p := t.pairs[i]
+	remove := t.present[i]
+	t.present[i] = !t.present[i]
+	it := client.UpdateItem{Src: uint32(p[0]), Dst: uint32(p[1]), Remove: remove}
+	if !remove {
+		it.Topics = []string{t.topic}
+	}
+	return it
+}
+
+// BenchSubscribe measures the push-mode subscription tier under open-loop
+// update load and subscriber churn.
+func (r *Runner) BenchSubscribe() (*BenchSubscribeResult, error) {
+	ds := gen.RandomWith(800, 8000, r.cfg.Seed)
+	g := ds.Graph
+	nLms := 10
+	lms, err := landmark.Select(g, landmark.InDeg, nLms, landmark.DefaultSelectConfig())
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	mgr, err := dynamic.NewManager(g, lms, dynamic.Config{
+		Params:     core.DefaultParams(),
+		Sim:        ds.Sim,
+		StoreTopN:  100,
+		QueryDepth: 2,
+		Strategy:   dynamic.Lazy,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(mgr, core.DefaultParams().Beta, server.WithMetrics(reg))
+	defer srv.Close()
+	httpSrv := httptest.NewServer(srv.Handler())
+	defer httpSrv.Close()
+	c := client.New(httpSrv.URL, nil)
+	ctx := context.Background()
+
+	// Subscriber material: distinct valid (user, topic) keys; the first
+	// benchSubSubscribers are the persistent consumers, the rest feed the
+	// churner.
+	queries, err := workload.Generate(g, workload.Config{
+		Queries: 4 * benchSubSubscribers, TopN: benchSubTopK,
+		MinOutDegree: 3, TopicBias: 1.2, Seed: r.cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vocab := g.Vocabulary()
+	seen := map[int]bool{}
+	var keys []client.RecommendRequest
+	for _, q := range queries {
+		if seen[int(q.User)] {
+			continue
+		}
+		seen[int(q.User)] = true
+		keys = append(keys, client.RecommendRequest{
+			User: int(q.User), Topic: vocab.Name(q.Topic), N: benchSubTopK, Method: "landmark",
+		})
+	}
+	if len(keys) < benchSubSubscribers+4 {
+		return nil, fmt.Errorf("bench-subscribe: only %d distinct subscriber keys", len(keys))
+	}
+	persistent, churnKeys := keys[:benchSubSubscribers], keys[benchSubSubscribers:]
+
+	// Update source: non-edges out of the persistent subscribers' own
+	// users, so every batch lands in a subscribed neighborhood.
+	tog := &benchSubToggle{topic: persistent[0].Topic}
+	for k := 0; len(tog.pairs) < benchSubTogglePairs; k++ {
+		src := persistent[k%len(persistent)].User
+		dst := (src*131 + 17 + 97*k) % g.NumNodes()
+		if src == dst || g.HasEdge(graph.NodeID(src), graph.NodeID(dst)) {
+			continue
+		}
+		tog.pairs = append(tog.pairs, [2]int{src, dst})
+		tog.present = append(tog.present, false)
+	}
+
+	res := &BenchSubscribeResult{
+		Experiment:     "bench-subscribe",
+		Nodes:          g.NumNodes(),
+		Edges:          g.NumEdges(),
+		Landmarks:      nLms,
+		ZeroLostDeltas: true,
+	}
+	for _, rate := range benchSubRates {
+		row, err := runBenchSubscribeRate(ctx, c, reg, persistent, churnKeys, tog, rate)
+		if err != nil {
+			return nil, err
+		}
+		if !row.ZeroLostDeltas {
+			res.ZeroLostDeltas = false
+		}
+		if rate == benchSubRates[len(benchSubRates)-1] && row.RescoresCoalesced > 0 {
+			res.CoalesceActive = true
+		}
+		res.Rates = append(res.Rates, *row)
+	}
+	return res, nil
+}
+
+func runBenchSubscribeRate(ctx context.Context, c *client.Client, reg *metrics.Registry,
+	persistent, churnKeys []client.RecommendRequest, tog *benchSubToggle, rate float64) (*BenchSubscribeRate, error) {
+
+	counter := func(name string) uint64 { return reg.Counter(name, "").Value() }
+	preRescores := counter("subscribe_rescores_total")
+	preMarks := counter("subscribe_rescore_marks_total")
+	preCoalesced := counter("subscribe_rescores_coalesced_total")
+	preSuppressed := counter("subscribe_pushes_suppressed_total")
+	preDropped := counter("subscribe_dropped_slow_consumers_total")
+
+	// Persistent subscribers, each with an SSE reader.
+	readers := make([]*benchSubReader, len(persistent))
+	var readerWG sync.WaitGroup
+	for i, key := range persistent {
+		sub, err := c.Subscribe(ctx, key)
+		if err != nil {
+			return nil, fmt.Errorf("bench-subscribe: subscribe %+v: %w", key, err)
+		}
+		stream, err := c.Events(ctx, sub.ID, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench-subscribe: events %s: %w", sub.ID, err)
+		}
+		readers[i] = &benchSubReader{sub: sub}
+		readerWG.Add(1)
+		go readers[i].run(stream, &readerWG)
+	}
+
+	// Churner: register/poll/unsubscribe cycles through the whole run.
+	churnStop := make(chan struct{})
+	var churned atomic.Int64
+	var churnWG sync.WaitGroup
+	churnWG.Add(1)
+	go func() {
+		defer churnWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			key := churnKeys[i%len(churnKeys)]
+			sub, err := c.Subscribe(ctx, key)
+			if err != nil {
+				continue
+			}
+			c.PollEvents(ctx, sub.ID, 0, "1ms") //nolint:errcheck // churn traffic
+			if err := c.Unsubscribe(ctx, sub.ID); err == nil {
+				churned.Add(1)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Open-loop driver: each update's slot is start + i*interval; senders
+	// sleep until the slot, stamp the accept timestamp and POST.
+	interval := time.Duration(float64(time.Second) / rate)
+	var next atomic.Int64
+	var senderWG sync.WaitGroup
+	var sendErr atomic.Value
+	start := time.Now()
+	for w := 0; w < benchSubSenders; w++ {
+		senderWG.Add(1)
+		go func() {
+			defer senderWG.Done()
+			for {
+				// One POST covers benchSubBatch schedule slots; its slot is
+				// the first update's, so the offered rate stays updates/s.
+				b := int(next.Add(1)) - 1
+				i := b * benchSubBatch
+				if i >= benchSubUpdates {
+					return
+				}
+				if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				items := make([]client.UpdateItem, 0, benchSubBatch)
+				at := time.Now().UnixNano()
+				for j := 0; j < benchSubBatch && i+j < benchSubUpdates; j++ {
+					it := tog.take()
+					it.At = at
+					items = append(items, it)
+				}
+				if _, err := c.Update(ctx, items); err != nil {
+					sendErr.Store(fmt.Errorf("bench-subscribe: batch at update %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	senderWG.Wait()
+	wall := time.Since(start)
+	close(churnStop)
+	churnWG.Wait()
+	if err, _ := sendErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	// Quiesce: the dirty queue must drain and re-scoring stop moving.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return nil, err
+		}
+		before := counter("subscribe_rescores_total")
+		if st.Subscriptions != nil && st.Subscriptions.DirtyQueue == 0 {
+			time.Sleep(50 * time.Millisecond)
+			if counter("subscribe_rescores_total") == before {
+				break
+			}
+		} else {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("bench-subscribe: hub did not quiesce")
+		}
+	}
+	// Let in-flight SSE frames land before reading the readers' state.
+	time.Sleep(200 * time.Millisecond)
+
+	row := &BenchSubscribeRate{
+		TargetRate:        rate,
+		Updates:           benchSubUpdates,
+		Subscribers:       len(persistent),
+		Churned:           int(churned.Load()),
+		Rescores:          counter("subscribe_rescores_total") - preRescores,
+		RescoreMarks:      counter("subscribe_rescore_marks_total") - preMarks,
+		RescoresCoalesced: counter("subscribe_rescores_coalesced_total") - preCoalesced,
+		PushesSuppressed:  counter("subscribe_pushes_suppressed_total") - preSuppressed,
+		Dropped:           counter("subscribe_dropped_slow_consumers_total") - preDropped,
+		FinalConsistent:   true,
+	}
+	if wall > 0 {
+		row.OfferedRate = float64(benchSubUpdates) / wall.Seconds()
+	}
+	if row.RescoreMarks > 0 {
+		row.CoalesceRatio = float64(row.RescoresCoalesced) / float64(row.RescoreMarks)
+	}
+
+	// Differential close: every consumer's reconstructed state (the last
+	// pushed top-k) must equal a fresh pull of the same query.
+	var lats []time.Duration
+	for _, rd := range readers {
+		rd.mu.Lock()
+		lats = append(lats, rd.lats...)
+		row.EventsReceived += rd.events
+		row.SeqGaps += rd.gaps
+		last := rd.last
+		rd.mu.Unlock()
+		fresh, err := c.Recommend(ctx, client.RecommendRequest{
+			User: rd.sub.User, Topic: rd.sub.Topic, N: rd.sub.N, Method: rd.sub.Method,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(last.Top) != len(fresh.Results) {
+			row.FinalConsistent = false
+			continue
+		}
+		for i := range last.Top {
+			if last.Top[i].User != fresh.Results[i].User {
+				row.FinalConsistent = false
+				break
+			}
+		}
+	}
+	row.Timed = len(lats)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return lats[i].Microseconds()
+	}
+	row.PushP50US = pct(0.50)
+	row.PushP99US = pct(0.99)
+	row.ZeroLostDeltas = row.SeqGaps == 0 && row.Dropped == 0 && row.FinalConsistent
+
+	// Tear down this rate's subscriptions; readers exit on stream EOF.
+	for _, rd := range readers {
+		if err := c.Unsubscribe(ctx, rd.sub.ID); err != nil {
+			return nil, err
+		}
+	}
+	readerWG.Wait()
+	return row, nil
+}
+
+// String renders the per-rate table and the acceptance gates.
+func (b *BenchSubscribeResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "standing-query push tier: %d nodes / %d edges, %d landmarks, %d subscribers, %d updates/rate\n",
+		b.Nodes, b.Edges, b.Landmarks, benchSubSubscribers, benchSubUpdates)
+	for _, r := range b.Rates {
+		fmt.Fprintf(&sb, "rate %5.0f/s (realized %6.0f/s): push p50 %-9s p99 %-9s events %-5d rescores %-5d marks %-5d coalesced %-5d (%.1f%%) suppressed %-4d churned %-4d gaps %d dropped %d consistent %v\n",
+			r.TargetRate, r.OfferedRate,
+			time.Duration(r.PushP50US)*time.Microsecond, time.Duration(r.PushP99US)*time.Microsecond,
+			r.EventsReceived, r.Rescores, r.RescoreMarks, r.RescoresCoalesced, 100*r.CoalesceRatio,
+			r.PushesSuppressed, r.Churned, r.SeqGaps, r.Dropped, r.FinalConsistent)
+	}
+	fmt.Fprintf(&sb, "zero lost deltas under churn: %v, coalescing active at %0.f/s: %v\n",
+		b.ZeroLostDeltas, benchSubRates[len(benchSubRates)-1], b.CoalesceActive)
+	return sb.String()
+}

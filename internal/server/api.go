@@ -1,7 +1,10 @@
-// api.go defines the versioned /v1 JSON surface: the uniform error
-// envelope, the decoded RecommendRequest shared by GET /v1/recommend and
-// POST /v1/recommend:batch, and the single validation path both go
-// through.
+// api.go binds the versioned /v1 JSON surface to its single wire
+// contract, internal/client: every request/response type and error code
+// here is an alias of the client package's definition, so the server
+// cannot drift from what the typed client (and its SSE reader) decodes.
+// The decoded RecommendRequest shared by GET /v1/recommend, POST
+// /v1/recommend:batch and POST /v1/subscribe goes through the one
+// validation path below.
 package server
 
 import (
@@ -10,30 +13,29 @@ import (
 	"net/url"
 	"strconv"
 
+	"repro/internal/client"
 	"repro/internal/graph"
 )
 
-// Error codes carried by the /v1 error envelope.
+// Error codes carried by the /v1 error envelope, re-exported from the
+// wire contract.
 const (
-	CodeBadRequest    = "bad_request"
-	CodeUnknownTopic  = "unknown_topic"
-	CodeUnknownMethod = "unknown_method"
-	CodeOverloaded    = "overloaded"
-	CodeDeadline      = "deadline_exceeded"
-	CodeInternal      = "internal"
+	CodeBadRequest       = client.CodeBadRequest
+	CodeUnknownTopic     = client.CodeUnknownTopic
+	CodeUnknownMethod    = client.CodeUnknownMethod
+	CodeNotFound         = client.CodeNotFound
+	CodeMethodNotAllowed = client.CodeMethodNotAllowed
+	CodeOverloaded       = client.CodeOverloaded
+	CodeDeadline         = client.CodeDeadline
+	CodeInternal         = client.CodeInternal
 )
 
 // ErrorBody is the uniform error envelope of the /v1 API: every
 // non-2xx JSON response is {"error": {"code": ..., "message": ...}}.
-type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type ErrorBody = client.ErrorBody
 
 // errorResponse wraps an ErrorBody for encoding.
-type errorResponse struct {
-	Error ErrorBody `json:"error"`
-}
+type errorResponse = client.ErrorEnvelope
 
 // httpError pairs an HTTP status with an envelope body; handlers thread
 // it instead of writing responses from arbitrary depths.
@@ -58,16 +60,9 @@ func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
 }
 
 // RecommendRequest is the decoded form of one recommendation query — the
-// single place query parameters and batch items are parsed into, and the
-// single input of validation.
-type RecommendRequest struct {
-	User  int    `json:"user"`
-	Topic string `json:"topic"`
-	// N defaults to 10 when omitted.
-	N int `json:"n,omitempty"`
-	// Method defaults to "landmark" when omitted.
-	Method string `json:"method,omitempty"`
-}
+// single place query parameters, batch items and subscription bodies are
+// parsed into, and the single input of validation.
+type RecommendRequest = client.RecommendRequest
 
 // recommendRequestFromQuery decodes GET /v1/recommend query parameters.
 func recommendRequestFromQuery(q url.Values) (RecommendRequest, *httpError) {

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// TestAPIDocCoversAllRoutes is the golden test tying the mux to API.md:
+// every "METHOD pattern" pair the server serves must appear verbatim in
+// the reference, so a route added without documentation fails CI.
+func TestAPIDocCoversAllRoutes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("read API.md: %v", err)
+	}
+	doc := string(raw)
+
+	reg := metrics.NewRegistry()
+	mgr, _ := testManager(t, reg)
+	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg))
+	t.Cleanup(s.Close)
+
+	var missing []string
+	for _, rt := range s.routes() {
+		for method := range rt.methods {
+			want := fmt.Sprintf("%s %s", method, rt.pattern)
+			if !strings.Contains(doc, want) {
+				missing = append(missing, want)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("routes served but not documented in API.md: %v", missing)
+	}
+}

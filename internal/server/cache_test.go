@@ -98,7 +98,7 @@ func TestResultCacheZeroCap(t *testing.T) {
 
 func TestServerCacheHeader(t *testing.T) {
 	srv, _ := testServer(t)
-	url := srv.URL + "/recommend?user=7&topic=technology&n=5&method=tr"
+	url := srv.URL + "/v1/recommend?user=7&topic=technology&n=5&method=tr"
 	r1, err := http.Get(url)
 	if err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestServerCacheHeader(t *testing.T) {
 		t.Errorf("second request X-Cache = %q, want hit", got)
 	}
 	// An update invalidates.
-	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+	postJSON(t, srv.URL+"/v1/update", UpdateRequest{Updates: []UpdateItem{
 		{Src: 3, Dst: 4, Topics: []string{"technology"}},
 	}}, http.StatusOK, nil)
 	r3, err := http.Get(url)

@@ -13,7 +13,7 @@ import (
 
 func fetchMetrics(t *testing.T, base string) string {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,20 +38,20 @@ func fetchMetrics(t *testing.T, base string) string {
 // timings.
 func TestMetricsEndpointCoverage(t *testing.T) {
 	srv, _ := testServer(t)
-	url := srv.URL + "/recommend?user=11&topic=technology&n=5&method=tr"
+	url := srv.URL + "/v1/recommend?user=11&topic=technology&n=5&method=tr"
 	getJSON(t, url, http.StatusOK, nil) // miss
 	getJSON(t, url, http.StatusOK, nil) // hit
-	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+	postJSON(t, srv.URL+"/v1/update", UpdateRequest{Updates: []UpdateItem{
 		{Src: 1, Dst: 2, Topics: []string{"technology"}},
 	}}, http.StatusOK, nil)
-	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&n=5&method=katz", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/v1/recommend?user=11&topic=technology&n=5&method=katz", http.StatusOK, nil)
 
 	out := fetchMetrics(t, srv.URL)
 	for _, want := range []string{
 		// Request middleware.
-		`http_requests_total{method="GET",route="/recommend",code="200"}`,
-		`http_requests_total{method="POST",route="/updates",code="200"}`,
-		`http_request_seconds_bucket{route="/recommend",le="+Inf"}`,
+		`http_requests_total{method="GET",route="/v1/recommend",code="200"}`,
+		`http_requests_total{method="POST",route="/v1/update",code="200"}`,
+		`http_request_seconds_bucket{route="/v1/recommend",le="+Inf"}`,
 		// Cache.
 		"cache_hits_total 1",
 		"cache_misses_total 2",
@@ -126,5 +126,5 @@ func TestRequestTimeoutDisabled(t *testing.T) {
 	mgr, _ := testManager(t, reg)
 	s := New(mgr, core.DefaultParams().Beta, WithMetrics(reg), WithRequestTimeout(0))
 	srv := newTestHTTP(t, s)
-	getJSON(t, srv.URL+"/recommend?user=11&topic=technology&method=tr", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/v1/recommend?user=11&topic=technology&method=tr", http.StatusOK, nil)
 }

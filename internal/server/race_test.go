@@ -194,12 +194,12 @@ func TestConcurrentRecommendAndUpdates(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
 				if w == 0 && i%3 == 0 {
-					postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+					postJSON(t, srv.URL+"/v1/update", UpdateRequest{Updates: []UpdateItem{
 						{Src: uint32(i + 1), Dst: uint32(i + 50), Topics: []string{"technology"}},
 					}}, 200, nil)
 					continue
 				}
-				url := fmt.Sprintf("%s/recommend?user=%d&topic=technology&n=5&method=landmark", srv.URL, (w*31+i)%600)
+				url := fmt.Sprintf("%s/v1/recommend?user=%d&topic=technology&n=5&method=landmark", srv.URL, (w*31+i)%600)
 				getJSON(t, url, 200, nil)
 			}
 		}(w)

@@ -6,23 +6,31 @@
 // landmark-store statistics, and accepts follow/unfollow updates which it
 // maintains through the dynamic landmark-refresh machinery.
 //
-// The HTTP surface is versioned under /v1 (unversioned routes remain as
-// deprecated aliases), and the serving path is load-managed: concurrent
-// identical queries coalesce onto one engine exploration, engine work
-// runs under a bounded admission pool that sheds with 429 once its queue
-// fills, and exact-Tr queries degrade to the landmark approximation when
-// their deadline cannot fit an exploration or the pool is under pressure.
+// The HTTP surface is versioned under /v1 (see API.md; the sunset
+// unversioned aliases only answer behind WithLegacyRoutes), and the
+// serving path is load-managed: concurrent identical queries coalesce
+// onto one engine exploration, engine work runs under a bounded
+// admission pool that sheds with 429 once its queue fills, and exact-Tr
+// queries degrade to the landmark approximation when their deadline
+// cannot fit an exploration or the pool is under pressure. Standing
+// queries (POST /v1/subscribe + SSE events) push top-k deltas through
+// the same coalesced/degradable compute path, triggered by the dynamic
+// manager's per-batch effects.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/dynamic"
@@ -31,6 +39,7 @@ import (
 	"repro/internal/katz"
 	"repro/internal/metrics"
 	"repro/internal/ranking"
+	"repro/internal/subscribe"
 	"repro/internal/topics"
 	"repro/internal/twitterrank"
 )
@@ -79,6 +88,13 @@ type Server struct {
 	// graph's node count and vocabulary survive updates, so one pool
 	// outlives every rebuilt recommender.
 	scratch *core.ScratchPool
+	// hub owns the standing queries; its re-score worker computes through
+	// hubCompute (the coalesced/degradable serving path).
+	hub     *subscribe.Hub
+	subsCfg SubscriptionConfig
+	// legacy re-registers the sunset unversioned aliases (with
+	// Deprecation/Sunset headers); off, they 404 like any unknown route.
+	legacy bool
 
 	// Metric handles, resolved once at construction.
 	httpReqs        *metrics.CounterVec
@@ -148,11 +164,35 @@ func WithCacheSize(n int) Option {
 // pipeline (which must consume the same manager): updates are admitted
 // into its bounded queue and applied asynchronously, with queue-full
 // backpressure surfaced as 429 + Retry-After. The result cache is
-// invalidated at admission — a window of one queue drain may serve
-// pre-update cached results, the staleness the streaming tier trades
-// for bounded write latency.
+// invalidated when each batch actually applies (the manager's batch
+// hook) — until then reads may serve pre-update cached results, the
+// staleness the streaming tier trades for bounded write latency.
 func WithIngest(p *ingest.Pipeline) Option {
 	return func(s *Server) { s.pipe = p }
+}
+
+// SubscriptionConfig sizes the standing-query hub.
+type SubscriptionConfig struct {
+	// MaxSubscriptions caps live subscriptions (<= 0 uses the hub default
+	// of 1024); RescoreBudget bounds re-scores per worker cycle (<= 0
+	// uses 32); EventBuffer bounds each subscription's event ring (<= 0
+	// uses 64).
+	MaxSubscriptions int
+	RescoreBudget    int
+	EventBuffer      int
+}
+
+// WithSubscriptions overrides the standing-query hub sizing.
+func WithSubscriptions(cfg SubscriptionConfig) Option {
+	return func(s *Server) { s.subsCfg = cfg }
+}
+
+// WithLegacyRoutes re-enables the sunset unversioned aliases (/health,
+// /stats, /recommend, /updates, /topics, /metrics). They answer like
+// their /v1 successors but stamp Deprecation/Sunset/Link headers; with
+// the option off (the default) they return the uniform 404 envelope.
+func WithLegacyRoutes(on bool) Option {
+	return func(s *Server) { s.legacy = on }
 }
 
 // New builds a server over a dynamic manager. beta is the Katz decay used
@@ -212,45 +252,175 @@ func New(mgr *dynamic.Manager, beta float64, opts ...Option) *Server {
 		func() float64 { return float64(s.pool.inflightNow()) })
 	s.reg.GaugeFunc("admission_queue_depth", "Recommendation computations queued for a pool slot.",
 		func() float64 { return float64(s.pool.queueDepth()) })
+	s.hub = subscribe.New(subscribe.Config{
+		MaxSubscriptions: s.subsCfg.MaxSubscriptions,
+		RescoreBudget:    s.subsCfg.RescoreBudget,
+		EventBuffer:      s.subsCfg.EventBuffer,
+		Compute:          s.hubCompute,
+		Neighborhood: func(k subscribe.Key) []graph.NodeID {
+			return s.mgr.Neighborhood(k.User, k.Method == "tr")
+		},
+		Metrics: s.reg,
+	})
+	mgr.SetBatchHook(s.onBatchEffect)
 	return s
+}
+
+// Close detaches the server from its manager and stops the subscription
+// hub's worker, waking every blocked event reader. The server must not
+// serve requests afterwards.
+func (s *Server) Close() {
+	s.mgr.SetBatchHook(nil)
+	s.hub.Close()
+}
+
+// onBatchEffect is the manager's batch hook: it runs after every applied
+// batch — synchronous Apply and streaming-pipeline applies alike. The
+// cache invalidation must precede the hub marking: re-scores then run at
+// the post-batch cache generation and can never join (or read) a
+// pre-update in-flight computation.
+func (s *Server) onBatchEffect(fx dynamic.BatchEffect) {
+	s.cache.invalidate()
+	s.cacheInvals.Inc()
+	s.hub.OnBatch(fx)
+}
+
+// hubCompute answers one standing-query re-score through the same path a
+// live request takes — degradation decision, result cache, coalesced
+// admission-gated compute — so a re-score and a concurrent identical
+// GET /v1/recommend share one execution and return identical rankings.
+func (s *Server) hubCompute(ctx context.Context, k subscribe.Key) (subscribe.Result, error) {
+	key := cacheKey{user: k.User, topic: k.Topic, n: k.N, method: k.Method}
+	if s.router != nil {
+		key.shardEpoch = s.router.Epoch()
+	}
+	ctx, cancel := s.requestCtx(ctx)
+	defer cancel()
+	effKey := key
+	degraded := false
+	if key.method == "tr" && s.shouldDegrade(ctx) {
+		effKey.method = "landmark"
+		degraded = true
+	}
+	if scored, ok := s.cache.get(effKey); ok {
+		s.cacheHits.Inc()
+		return subscribe.Result{Scored: scored, Degraded: degraded}, nil
+	}
+	res, shared, err := s.flight.do(ctx, effKey, func() (computed, error) {
+		return s.compute(ctx, effKey)
+	})
+	if err != nil {
+		return subscribe.Result{}, err
+	}
+	if shared {
+		s.coalesceHits.Inc()
+	} else {
+		s.cacheMisses.Inc()
+	}
+	return subscribe.Result{Scored: res.scored, Degraded: degraded || res.degraded}, nil
 }
 
 // Metrics returns the server's registry (for sharing with other
 // subsystems or for tests).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
-// Handler returns the route table: the versioned /v1 surface plus the
-// unversioned deprecated aliases, which log once and forward. Every
+// routeDef is one /v1 route: a path pattern (net/http ServeMux syntax,
+// no method prefix — method dispatch is manual so unsupported methods
+// get the uniform 405 envelope instead of the mux's plain-text error)
+// and its per-method handlers.
+type routeDef struct {
+	pattern string
+	methods map[string]http.HandlerFunc
+}
+
+// routes is the complete /v1 surface — the one list the mux, the metrics
+// route labels and the API.md golden test are built from.
+func (s *Server) routes() []routeDef {
+	get := func(h http.HandlerFunc) map[string]http.HandlerFunc {
+		return map[string]http.HandlerFunc{http.MethodGet: h}
+	}
+	post := func(h http.HandlerFunc) map[string]http.HandlerFunc {
+		return map[string]http.HandlerFunc{http.MethodPost: h}
+	}
+	return []routeDef{
+		{"/v1/health", get(s.handleHealth)},
+		{"/v1/topics", get(s.handleTopics)},
+		{"/v1/stats", get(s.handleStats)},
+		{"/v1/recommend", get(s.handleRecommend)},
+		{"/v1/recommend:batch", post(s.handleRecommendBatch)},
+		{"/v1/update", post(s.handleUpdates)},
+		{"/v1/metrics", get(s.reg.ServeHTTP)},
+		{"/v1/subscribe", post(s.handleSubscribe)},
+		{"/v1/subscribe/{id}", map[string]http.HandlerFunc{http.MethodDelete: s.handleUnsubscribe}},
+		{"/v1/subscribe/{id}/events", get(s.handleEvents)},
+	}
+}
+
+// sunsetDate is the Sunset header stamped on legacy aliases.
+const sunsetDate = "Thu, 01 Apr 2027 00:00:00 GMT"
+
+// Handler returns the route table: the versioned /v1 surface, a uniform
+// envelope for unknown routes (404) and unsupported methods (405), and —
+// only behind WithLegacyRoutes — the sunset unversioned aliases, which
+// log once, stamp Deprecation/Sunset/Link headers and forward. Every
 // route is wrapped in the request middleware; /v1/metrics exposes the
 // registry in the Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	v1 := func(pattern, route string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.instrument(route, h))
-	}
-	v1("GET /v1/health", "/v1/health", s.handleHealth)
-	v1("GET /v1/topics", "/v1/topics", s.handleTopics)
-	v1("GET /v1/stats", "/v1/stats", s.handleStats)
-	v1("GET /v1/recommend", "/v1/recommend", s.handleRecommend)
-	v1("POST /v1/recommend:batch", "/v1/recommend:batch", s.handleRecommendBatch)
-	v1("POST /v1/update", "/v1/update", s.handleUpdates)
-	v1("GET /v1/metrics", "/v1/metrics", s.reg.ServeHTTP)
-
-	alias := func(pattern, route, successor string, h http.HandlerFunc) {
-		var once sync.Once
-		mux.HandleFunc(pattern, s.instrument(route, func(w http.ResponseWriter, r *http.Request) {
-			once.Do(func() {
-				log.Printf("server: route %s is deprecated, use %s", route, successor)
-			})
+	for _, rt := range s.routes() {
+		rt := rt
+		allowed := make([]string, 0, len(rt.methods))
+		for m := range rt.methods {
+			allowed = append(allowed, m)
+		}
+		sort.Strings(allowed)
+		allow := strings.Join(allowed, ", ")
+		mux.HandleFunc(rt.pattern, s.instrument(rt.pattern, func(w http.ResponseWriter, r *http.Request) {
+			h := rt.methods[r.Method]
+			if h == nil && r.Method == http.MethodHead {
+				h = rt.methods[http.MethodGet]
+			}
+			if h == nil {
+				w.Header().Set("Allow", allow)
+				s.writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+					"%s is not allowed on %s (allowed: %s)", r.Method, rt.pattern, allow))
+				return
+			}
 			h(w, r)
 		}))
 	}
-	alias("GET /health", "/health", "/v1/health", s.handleHealth)
-	alias("GET /topics", "/topics", "/v1/topics", s.handleTopics)
-	alias("GET /stats", "/stats", "/v1/stats", s.handleStats)
-	alias("GET /recommend", "/recommend", "/v1/recommend", s.handleRecommend)
-	alias("POST /updates", "/updates", "/v1/update", s.handleUpdates)
-	alias("GET /metrics", "/metrics", "/v1/metrics", s.reg.ServeHTTP)
+	if s.legacy {
+		alias := func(method, route, successor string, h http.HandlerFunc) {
+			var once sync.Once
+			mux.HandleFunc(route, s.instrument(route, func(w http.ResponseWriter, r *http.Request) {
+				if r.Method != method && !(r.Method == http.MethodHead && method == http.MethodGet) {
+					w.Header().Set("Allow", method)
+					s.writeError(w, errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+						"%s is not allowed on %s (allowed: %s)", r.Method, route, method))
+					return
+				}
+				once.Do(func() {
+					log.Printf("server: route %s is deprecated, use %s", route, successor)
+				})
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Sunset", sunsetDate)
+				w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+				h(w, r)
+			}))
+		}
+		alias(http.MethodGet, "/health", "/v1/health", s.handleHealth)
+		alias(http.MethodGet, "/topics", "/v1/topics", s.handleTopics)
+		alias(http.MethodGet, "/stats", "/v1/stats", s.handleStats)
+		alias(http.MethodGet, "/recommend", "/v1/recommend", s.handleRecommend)
+		alias(http.MethodPost, "/updates", "/v1/update", s.handleUpdates)
+		alias(http.MethodGet, "/metrics", "/v1/metrics", s.reg.ServeHTTP)
+	}
+	// Everything else — including the sunset aliases when legacy routing
+	// is off — gets the envelope, not the mux's plain-text 404.
+	mux.HandleFunc("/", s.instrument("unmatched", func(w http.ResponseWriter, r *http.Request) {
+		s.writeError(w, errf(http.StatusNotFound, CodeNotFound,
+			"no route %s %s (the API is versioned under /v1; see API.md)", r.Method, r.URL.Path))
+	}))
 	return mux
 }
 
@@ -269,34 +439,10 @@ func (s *Server) handleTopics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // StatsResponse summarizes the served dataset and maintenance state.
-type StatsResponse struct {
-	Nodes        int     `json:"nodes"`
-	Edges        int     `json:"edges"`
-	AvgOutDegree float64 `json:"avg_out_degree"`
-	AvgInDegree  float64 `json:"avg_in_degree"`
-	MaxInDegree  int     `json:"max_in_degree"`
-	Batches      int     `json:"update_batches"`
-	Refreshes    int     `json:"landmark_refreshes"`
-	Stale        int     `json:"stale_landmarks"`
-	// Epoch identifies the graph snapshot served right now; it advances
-	// with every applied batch and every overlay compaction.
-	Epoch        uint64 `json:"epoch"`
-	OverlayDepth int    `json:"overlay_depth"`
-	Compactions  int    `json:"compactions"`
-	// Ingest reports the streaming pipeline's state (present only when
-	// the server runs with WithIngest).
-	Ingest *IngestStats `json:"ingest,omitempty"`
-}
+type StatsResponse = client.StatsResponse
 
 // IngestStats is the /v1/stats view of the streaming pipeline.
-type IngestStats struct {
-	QueueDepth int    `json:"queue_depth"`
-	QueueCap   int    `json:"queue_cap"`
-	Enqueued   uint64 `json:"enqueued"`
-	Applied    uint64 `json:"applied"`
-	Rejected   uint64 `json:"rejected"`
-	Batches    uint64 `json:"batches"`
-}
+type IngestStats = client.IngestStats
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	g := s.mgr.Graph()
@@ -323,31 +469,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Rejected: ist.Rejected, Batches: ist.Batches,
 		}
 	}
+	subs := s.hub.Stats()
+	resp.Subscriptions = &subs
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // Recommendation is one entry of a recommendation response.
-type Recommendation struct {
-	User    uint32   `json:"user"`
-	Score   float64  `json:"score"`
-	Topics  []string `json:"topics"`
-	Follows int      `json:"followers"`
-}
+type Recommendation = client.Recommendation
 
 // RecommendResponse is the /v1/recommend payload.
-type RecommendResponse struct {
-	Method string `json:"method"`
-	Topic  string `json:"topic"`
-	TookUS int64  `json:"took_us"`
-	// Degraded marks an exact-Tr query answered by the landmark
-	// approximation because the deadline or the admission pool could not
-	// fit an exact exploration.
-	Degraded bool `json:"degraded,omitempty"`
-	// Cache reports how the result was obtained: "hit", "miss" or
-	// "coalesced" (joined an identical in-flight computation).
-	Cache   string           `json:"cache,omitempty"`
-	Results []Recommendation `json:"results"`
-}
+type RecommendResponse = client.RecommendResponse
 
 // requestCtx applies the configured per-request deadline.
 func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -381,10 +512,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 
 // BatchResult is one element of the /v1/recommend:batch response; items
 // fail independently, carrying either a response or an error envelope.
-type BatchResult struct {
-	Response *RecommendResponse `json:"response,omitempty"`
-	Error    *ErrorBody         `json:"error,omitempty"`
-}
+type BatchResult = client.BatchResult
 
 // handleRecommendBatch accepts a JSON array of RecommendRequest and
 // answers each through the same validated, coalesced, admission-gated
@@ -620,20 +748,12 @@ func (s *Server) recordRebuild(method string, took time.Duration) {
 
 // UpdateRequest is the /v1/update payload: a batch of follow/unfollow
 // changes.
-type UpdateRequest struct {
-	Updates []UpdateItem `json:"updates"`
-}
+type UpdateRequest = client.UpdateRequest
 
 // UpdateItem is one change. At optionally carries the event's Unix
 // nanosecond timestamp for the time-decayed ingestion path; 0 lets the
 // manager stamp arrival time.
-type UpdateItem struct {
-	Src    uint32   `json:"src"`
-	Dst    uint32   `json:"dst"`
-	Topics []string `json:"topics"`
-	Remove bool     `json:"remove,omitempty"`
-	At     int64    `json:"at,omitempty"`
-}
+type UpdateItem = client.UpdateItem
 
 func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
@@ -692,29 +812,35 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, errf(http.StatusInternalServerError, CodeInternal, "enqueuing updates: %v", err))
 			return
 		}
+		// No cache invalidation here: the manager's batch hook
+		// (onBatchEffect) invalidates when the batch actually applies —
+		// invalidating at admission would only repopulate the cache with
+		// pre-update results until the queue drains.
 		s.updatesApplied.Add(uint64(len(batch)))
-		s.cache.invalidate()
-		s.cacheInvals.Inc()
 		ist := s.pipe.Stats()
-		writeJSON(w, http.StatusAccepted, map[string]any{
-			"accepted":    len(batch),
-			"queue_depth": ist.Depth,
-			"queue_cap":   ist.Cap,
+		writeJSON(w, http.StatusAccepted, &UpdateResponse{
+			Accepted:   len(batch),
+			QueueDepth: ist.Depth,
+			QueueCap:   ist.Cap,
 		})
 		return
 	}
+	// The batch hook fires inside Apply (cache invalidation + standing-
+	// query marking), so by the time this returns, reads are already at
+	// the new generation.
 	if err := s.mgr.Apply(batch); err != nil {
 		s.writeError(w, errf(http.StatusInternalServerError, CodeInternal, "applying updates: %v", err))
 		return
 	}
 	s.updatesApplied.Add(uint64(len(batch)))
-	s.cache.invalidate()
-	s.cacheInvals.Inc()
 	st := s.mgr.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"applied":   len(batch),
-		"refreshes": st.Refreshes,
-		"stale":     st.StaleNow,
-		"epoch":     st.Epoch,
+	writeJSON(w, http.StatusOK, &UpdateResponse{
+		Applied:   len(batch),
+		Refreshes: st.Refreshes,
+		Stale:     st.StaleNow,
+		Epoch:     st.Epoch,
 	})
 }
+
+// UpdateResponse is the POST /v1/update payload.
+type UpdateResponse = client.UpdateResponse

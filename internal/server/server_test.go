@@ -2,12 +2,14 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/gen"
@@ -48,27 +50,51 @@ func testServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
 	return newTestHTTP(t, New(mgr, core.DefaultParams().Beta, WithMetrics(reg))), ds
 }
 
-// newTestHTTP serves a Server over httptest with cleanup.
+// legacyServer is testServer with the sunset unversioned aliases
+// re-enabled (trserver -enable-legacy-routes).
+func legacyServer(t *testing.T) (*httptest.Server, *gen.Dataset) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	mgr, ds := testManager(t, reg)
+	return newTestHTTP(t, New(mgr, core.DefaultParams().Beta, WithMetrics(reg), WithLegacyRoutes(true))), ds
+}
+
+// newTestHTTP serves a Server over httptest with cleanup (the hub worker
+// stops before the listener does).
 func newTestHTTP(t *testing.T, s *Server) *httptest.Server {
 	t.Helper()
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
+	t.Cleanup(s.Close)
 	return srv
 }
 
+// getJSON and postJSON are thin shims over the typed client's transport
+// (client.Do): the tests speak to the server through the same encode/
+// decode path real consumers use, with the raw status still assertable.
 func getJSON(t *testing.T, url string, wantCode int, out any) {
 	t.Helper()
-	resp, err := http.Get(url)
+	doJSON(t, http.MethodGet, url, nil, wantCode, out)
+}
+
+func postJSON(t *testing.T, url string, body any, wantCode int, out any) {
+	t.Helper()
+	doJSON(t, http.MethodPost, url, body, wantCode, out)
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var raw json.RawMessage
+	status, err := client.New("", nil).Do(context.Background(), method, url, body, &raw)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("%s %s: %v", method, url, err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantCode {
-		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	if status != wantCode {
+		t.Fatalf("%s %s: status %d, want %d (body %s)", method, url, status, wantCode, raw)
 	}
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("GET %s: bad JSON: %v", url, err)
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v", method, url, err)
 		}
 	}
 }
@@ -159,9 +185,11 @@ func TestRecommendErrors(t *testing.T) {
 	}
 }
 
+// TestDeprecatedAliasesForward runs a legacy-enabled server: the
+// unversioned routes answer identically to their /v1 successors and
+// stamp the sunset headers.
 func TestDeprecatedAliasesForward(t *testing.T) {
-	srv, ds := testServer(t)
-	// The unversioned routes answer identically to their /v1 successors.
+	srv, ds := legacyServer(t)
 	var health map[string]string
 	getJSON(t, srv.URL+"/health", http.StatusOK, &health)
 	if health["status"] != "ok" {
@@ -186,28 +214,76 @@ func TestDeprecatedAliasesForward(t *testing.T) {
 	if e.Error.Code != CodeUnknownTopic {
 		t.Errorf("deprecated route error code = %q", e.Error.Code)
 	}
+	// Every alias response carries the deprecation trio.
+	r, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.Header.Get("Deprecation") != "true" {
+		t.Errorf("Deprecation header = %q, want true", r.Header.Get("Deprecation"))
+	}
+	if r.Header.Get("Sunset") == "" {
+		t.Error("missing Sunset header on deprecated route")
+	}
+	if link := r.Header.Get("Link"); link != `</v1/health>; rel="successor-version"` {
+		t.Errorf("Link header = %q", link)
+	}
+	// The /v1 successors never carry them.
+	r2, err := http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.Header.Get("Deprecation") != "" || r2.Header.Get("Sunset") != "" {
+		t.Error("/v1 route carries deprecation headers")
+	}
 }
 
-// TestMethodNotAllowed sends each route the wrong HTTP verb; the method
-// patterns in the route table must answer 405, never dispatch.
+// TestLegacyRoutesOffByDefault pins the sunset: without
+// WithLegacyRoutes the unversioned paths are gone — uniform 404
+// envelope pointing at /v1, no forwarding.
+func TestLegacyRoutesOffByDefault(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, path := range []string{"/health", "/topics", "/stats", "/recommend?user=1&topic=technology", "/metrics"} {
+		var e errEnvelope
+		getJSON(t, srv.URL+path, http.StatusNotFound, &e)
+		if e.Error.Code != CodeNotFound {
+			t.Errorf("%s: error code %q, want %q", path, e.Error.Code, CodeNotFound)
+		}
+	}
+	var e errEnvelope
+	postJSON(t, srv.URL+"/updates", UpdateRequest{}, http.StatusNotFound, &e)
+	if e.Error.Code != CodeNotFound {
+		t.Errorf("/updates: error code %q, want %q", e.Error.Code, CodeNotFound)
+	}
+}
+
+// TestMethodNotAllowed sends each route the wrong HTTP verb; the route
+// table must answer a 405 envelope with an Allow header, never
+// dispatch. Unversioned aliases only exist on a legacy-enabled server.
 func TestMethodNotAllowed(t *testing.T) {
 	srv, _ := testServer(t)
+	legacy, _ := legacyServer(t)
 	cases := []struct {
+		base         string
 		method, path string
 	}{
-		{http.MethodPost, "/recommend?user=1&topic=technology"},
-		{http.MethodDelete, "/recommend?user=1&topic=technology"},
-		{http.MethodGet, "/updates"},
-		{http.MethodPut, "/updates"},
-		{http.MethodPost, "/health"},
-		{http.MethodPost, "/metrics"},
-		{http.MethodPost, "/v1/recommend?user=1&topic=technology"},
-		{http.MethodGet, "/v1/update"},
-		{http.MethodGet, "/v1/recommend:batch"},
-		{http.MethodPost, "/v1/metrics"},
+		{legacy.URL, http.MethodPost, "/recommend?user=1&topic=technology"},
+		{legacy.URL, http.MethodDelete, "/recommend?user=1&topic=technology"},
+		{legacy.URL, http.MethodGet, "/updates"},
+		{legacy.URL, http.MethodPut, "/updates"},
+		{legacy.URL, http.MethodPost, "/health"},
+		{legacy.URL, http.MethodPost, "/metrics"},
+		{srv.URL, http.MethodPost, "/v1/recommend?user=1&topic=technology"},
+		{srv.URL, http.MethodGet, "/v1/update"},
+		{srv.URL, http.MethodGet, "/v1/recommend:batch"},
+		{srv.URL, http.MethodPost, "/v1/metrics"},
+		{srv.URL, http.MethodGet, "/v1/subscribe"},
+		{srv.URL, http.MethodPost, "/v1/subscribe/s1/events"},
 	}
 	for _, c := range cases {
-		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		req, err := http.NewRequest(c.method, c.base+c.path, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,30 +291,18 @@ func TestMethodNotAllowed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var e errEnvelope
+		derr := json.NewDecoder(resp.Body).Decode(&e)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, http.StatusMethodNotAllowed)
+			continue
 		}
-	}
-}
-
-func postJSON(t *testing.T, url string, body any, wantCode int, out any) {
-	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantCode {
-		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
-	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatal(err)
+		if derr != nil || e.Error.Code != CodeMethodNotAllowed {
+			t.Errorf("%s %s: envelope %+v (decode err %v), want code %q", c.method, c.path, e, derr, CodeMethodNotAllowed)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", c.method, c.path)
 		}
 	}
 }
@@ -246,34 +310,34 @@ func postJSON(t *testing.T, url string, body any, wantCode int, out any) {
 func TestUpdatesFlow(t *testing.T) {
 	srv, ds := testServer(t)
 	var before StatsResponse
-	getJSON(t, srv.URL+"/stats", http.StatusOK, &before)
+	getJSON(t, srv.URL+"/v1/stats", http.StatusOK, &before)
 
 	// A new follow appears...
-	var applied map[string]any
-	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+	var applied UpdateResponse
+	postJSON(t, srv.URL+"/v1/update", UpdateRequest{Updates: []UpdateItem{
 		{Src: 1, Dst: 500, Topics: []string{"technology"}},
 	}}, http.StatusOK, &applied)
-	if applied["applied"].(float64) != 1 {
-		t.Errorf("applied = %v", applied)
+	if applied.Applied != 1 {
+		t.Errorf("applied = %+v", applied)
 	}
 	var after StatsResponse
-	getJSON(t, srv.URL+"/stats", http.StatusOK, &after)
+	getJSON(t, srv.URL+"/v1/stats", http.StatusOK, &after)
 	if after.Edges != before.Edges+1 || after.Batches != before.Batches+1 {
 		t.Errorf("stats before %+v after %+v", before, after)
 	}
 	// ...and is immediately visible to exact recommendations from user 1.
 	var resp RecommendResponse
-	getJSON(t, srv.URL+"/recommend?user=1&topic=technology&method=tr&n=600", http.StatusOK, &resp)
+	getJSON(t, srv.URL+"/v1/recommend?user=1&topic=technology&method=tr&n=600", http.StatusOK, &resp)
 
 	// Baselines rebuild after updates without error.
-	getJSON(t, srv.URL+"/recommend?user=1&topic=technology&method=katz&n=5", http.StatusOK, &resp)
+	getJSON(t, srv.URL+"/v1/recommend?user=1&topic=technology&method=katz&n=5", http.StatusOK, &resp)
 
 	// Then the follow is removed again.
-	postJSON(t, srv.URL+"/updates", UpdateRequest{Updates: []UpdateItem{
+	postJSON(t, srv.URL+"/v1/update", UpdateRequest{Updates: []UpdateItem{
 		{Src: 1, Dst: 500, Remove: true},
 	}}, http.StatusOK, nil)
 	var final StatsResponse
-	getJSON(t, srv.URL+"/stats", http.StatusOK, &final)
+	getJSON(t, srv.URL+"/v1/stats", http.StatusOK, &final)
 	if final.Edges != before.Edges {
 		t.Errorf("edges = %d, want %d after add+remove", final.Edges, before.Edges)
 	}
@@ -344,11 +408,11 @@ func TestUpdatesValidation(t *testing.T) {
 		{Updates: []UpdateItem{{Src: 1, Dst: 2}}}, // follow without topics
 	}
 	for i, c := range cases {
-		postJSON(t, srv.URL+"/updates", c, http.StatusBadRequest, nil)
+		postJSON(t, srv.URL+"/v1/update", c, http.StatusBadRequest, nil)
 		_ = i
 	}
 	// Non-JSON body.
-	resp, err := http.Post(srv.URL+"/updates", "application/json", bytes.NewReader([]byte("{")))
+	resp, err := http.Post(srv.URL+"/v1/update", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
 		t.Fatal(err)
 	}

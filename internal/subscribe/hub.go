@@ -1,0 +1,645 @@
+// Package subscribe turns the recommendation service into a feed
+// engine: clients register standing top-k queries and the Hub pushes
+// set/rank deltas when an ingested batch actually moves them, instead of
+// being polled.
+//
+// The Hub inverts the dynamic manager's per-batch dirty set
+// (dynamic.BatchEffect) into an affected-subscription index: every
+// registered (user, topic, n, method) group is indexed under the nodes
+// its recommendation depends on (Manager.Neighborhood — the query's own
+// exploration region, whose met landmarks' lists are recomputed from
+// exactly that region), so a batch marks dirty only the groups whose
+// endpoints, staled landmarks or refreshed landmarks intersect their
+// region — batches touching no subscribed neighborhood trigger zero
+// re-scores. Dirty groups drain through one budgeted worker whose
+// Compute callback is the server's coalesced/degradable serving path, so
+// S subscribers of the same key cost one re-score per generation and
+// pressure degrades exact-Tr re-scores to the landmark engine with
+// "degraded":true stamped on the pushed events.
+//
+// Per subscription the Hub keeps the last pushed top-k and a bounded
+// event ring: a re-score whose top-k membership and order are unchanged
+// pushes nothing (score-only drift is suppressed); consumers that lapse
+// past the ring either resync with a synthesized Reset snapshot (at
+// connect) or are disconnected (mid-stream slow consumers).
+package subscribe
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ranking"
+	"repro/internal/topics"
+)
+
+// Key identifies one standing query — the subscription-side mirror of
+// the serving path's cache key, so coalescing composes across the two.
+type Key struct {
+	User   graph.NodeID
+	Topic  topics.ID
+	N      int
+	Method string
+}
+
+// Result is one re-score outcome.
+type Result struct {
+	Scored []ranking.Scored
+	// Degraded marks an exact-Tr re-score answered by the landmark
+	// approximation under pressure; stamped onto the pushed events.
+	Degraded bool
+}
+
+// Config parameterizes a Hub.
+type Config struct {
+	// MaxSubscriptions caps live subscriptions; Register beyond it fails
+	// with ErrLimit. <= 0 uses 1024.
+	MaxSubscriptions int
+	// RescoreBudget bounds how many dirty groups one worker cycle
+	// re-scores before re-checking for shutdown. <= 0 uses 32.
+	RescoreBudget int
+	// EventBuffer bounds the per-subscription event ring; consumers
+	// falling further behind lapse. <= 0 uses 64.
+	EventBuffer int
+	// Compute answers one standing query — the server wires its
+	// coalesced, admission-controlled, degradable compute path here.
+	Compute func(ctx context.Context, k Key) (Result, error)
+	// Neighborhood returns the dependency set of a key's recommendation
+	// (Manager.Neighborhood); re-resolved after every re-score so the
+	// index follows the graph.
+	Neighborhood func(k Key) []graph.NodeID
+	// Metrics, when non-nil, receives the hub's counters, gauges and the
+	// push-latency histogram.
+	Metrics *metrics.Registry
+}
+
+// Errors returned by the Hub.
+var (
+	// ErrLimit rejects registrations past MaxSubscriptions.
+	ErrLimit = errors.New("subscribe: subscription limit reached")
+	// ErrUnknown names a subscription id that is not (or no longer)
+	// registered.
+	ErrUnknown = errors.New("subscribe: unknown subscription")
+	// ErrLapsed tells a mid-stream consumer its position fell out of the
+	// bounded event ring: the stream cannot be resumed gap-free.
+	ErrLapsed = errors.New("subscribe: consumer lapsed behind the event buffer")
+	// ErrClosed rejects operations on a closed hub.
+	ErrClosed = errors.New("subscribe: hub closed")
+)
+
+// group is the unit of re-scoring: every subscription sharing a Key.
+type group struct {
+	key  Key
+	subs map[*sub]struct{}
+	// nodes is the currently indexed dependency set.
+	nodes []graph.NodeID
+	// pending marks the group as queued in Hub.dirty; further marks
+	// coalesce into the queued entry.
+	pending bool
+	// epoch is the freshest graph epoch folded into the pending mark;
+	// ingestNs the oldest nonzero trigger timestamp (the push-latency
+	// anchor). Both snapshot at take time.
+	epoch    uint64
+	ingestNs int64
+}
+
+// sub is one subscription: an event ring plus the last pushed snapshot.
+type sub struct {
+	id  string
+	grp *group
+	// seq is the sequence number of the newest event; the ring holds
+	// seqs (seq-len(events), seq].
+	seq    uint64
+	events []client.Event
+	// last is the last pushed top-k (nil before the first push); the
+	// diff base and the Reset-resync payload.
+	last []client.Entry
+	// notify is closed and replaced whenever an event is appended (or
+	// the subscription is torn down), waking blocked readers.
+	notify chan struct{}
+}
+
+// takeItem is one dirty group snapshotted for re-scoring.
+type takeItem struct {
+	g        *group
+	epoch    uint64
+	ingestNs int64
+}
+
+// Hub owns every standing query of one server.
+type Hub struct {
+	cfg Config
+
+	mu     sync.Mutex
+	subs   map[string]*sub
+	groups map[Key]*group
+	index  map[graph.NodeID]map[*group]struct{}
+	dirty  []*group // FIFO of pending groups
+	epoch  uint64   // freshest epoch seen from OnBatch
+	nextID uint64
+	// inflight counts groups taken by the worker but not yet re-scored —
+	// dirty==0 && inflight==0 means quiescent (Flush).
+	inflight int
+	closed   bool
+
+	stats client.SubscriptionStats
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	// Metric handles (nil-safe when Config.Metrics is nil).
+	mMarks      *metrics.Counter
+	mCoalesced  *metrics.Counter
+	mRescores   *metrics.Counter
+	mSuppressed *metrics.Counter
+	mFailures   *metrics.Counter
+	mPushed     *metrics.Counter
+	mDropped    *metrics.Counter
+	mPushLat    *metrics.Histogram
+}
+
+// New starts a hub and its re-score worker. Close releases it.
+func New(cfg Config) *Hub {
+	if cfg.MaxSubscriptions <= 0 {
+		cfg.MaxSubscriptions = 1024
+	}
+	if cfg.RescoreBudget <= 0 {
+		cfg.RescoreBudget = 32
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 64
+	}
+	h := &Hub{
+		cfg:    cfg,
+		subs:   make(map[string]*sub),
+		groups: make(map[Key]*group),
+		index:  make(map[graph.NodeID]map[*group]struct{}),
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	h.stats.Max = cfg.MaxSubscriptions
+	if reg := cfg.Metrics; reg != nil {
+		h.mMarks = reg.Counter("subscribe_rescore_marks_total", "Dirty marks delivered to subscription groups by batch effects.")
+		h.mCoalesced = reg.Counter("subscribe_rescores_coalesced_total", "Dirty marks absorbed by an already-queued group (re-scores saved).")
+		h.mRescores = reg.Counter("subscribe_rescores_total", "Standing-query re-score executions.")
+		h.mSuppressed = reg.Counter("subscribe_pushes_suppressed_total", "Re-scores per subscription whose top-k was unchanged (no event pushed).")
+		h.mFailures = reg.Counter("subscribe_rescore_failures_total", "Failed re-score executions (group re-queued).")
+		h.mPushed = reg.Counter("subscribe_events_pushed_total", "Delta events appended to subscription event rings.")
+		h.mDropped = reg.Counter("subscribe_dropped_slow_consumers_total", "Consumers disconnected after lapsing behind the event ring.")
+		h.mPushLat = reg.Histogram("subscribe_push_latency_seconds", "Latency from ingest accept to delta availability in the event ring.", nil)
+		reg.GaugeFunc("subscribe_active_subscriptions", "Live standing queries.",
+			func() float64 { return float64(h.Stats().Active) })
+		reg.GaugeFunc("subscribe_dirty_groups", "Subscription groups queued for re-scoring.",
+			func() float64 { return float64(h.Stats().DirtyQueue) })
+	}
+	go h.worker()
+	return h
+}
+
+// Close stops the worker and wakes every blocked reader. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		<-h.done
+		return
+	}
+	h.closed = true
+	for _, s := range h.subs {
+		close(s.notify)
+	}
+	h.mu.Unlock()
+	close(h.stop)
+	<-h.done
+}
+
+// Register creates a subscription for k, returning its id. The first
+// snapshot is pushed asynchronously by the worker (as a Reset event).
+func (h *Hub) Register(k Key) (string, error) {
+	// Resolve the dependency set outside the lock (it BFSes the graph).
+	nodes := h.cfg.Neighborhood(k)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return "", ErrClosed
+	}
+	if len(h.subs) >= h.cfg.MaxSubscriptions {
+		return "", ErrLimit
+	}
+	g := h.groups[k]
+	if g == nil {
+		g = &group{key: k, subs: make(map[*sub]struct{})}
+		h.groups[k] = g
+		h.indexLocked(g, nodes)
+	}
+	h.nextID++
+	s := &sub{
+		id:     "s" + strconv.FormatUint(h.nextID, 10),
+		grp:    g,
+		notify: make(chan struct{}),
+	}
+	g.subs[s] = struct{}{}
+	h.subs[s.id] = s
+	h.stats.Registered++
+	// Queue the initial snapshot. Existing group members see a suppressed
+	// push (their top-k is unchanged); the new member gets its Reset.
+	h.markDirtyLocked(g, h.epoch, 0)
+	h.kickLocked()
+	return s.id, nil
+}
+
+// Unsubscribe tears down a subscription, waking its blocked readers.
+func (h *Hub) Unsubscribe(id string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return ErrUnknown
+	}
+	delete(h.subs, id)
+	close(s.notify)
+	g := s.grp
+	delete(g.subs, s)
+	if len(g.subs) == 0 {
+		// Last member: drop the group and its index entries. A queued
+		// dirty entry stays in the FIFO; the worker skips empty groups.
+		h.unindexLocked(g)
+		delete(h.groups, g.key)
+	}
+	h.stats.Unsubscribed++
+	return nil
+}
+
+// OnBatch folds one batch effect into the dirty queue: global effects
+// mark every group, local effects only the groups indexed under a
+// touched node. Wired to dynamic.Manager.SetBatchHook.
+func (h *Hub) OnBatch(fx dynamic.BatchEffect) {
+	h.mu.Lock()
+	if fx.Epoch > h.epoch {
+		h.epoch = fx.Epoch
+	}
+	if fx.Global {
+		for _, g := range h.groups {
+			h.markDirtyLocked(g, fx.Epoch, fx.OldestAt)
+		}
+	} else {
+		var seen map[*group]struct{}
+		mark := func(n graph.NodeID) {
+			for g := range h.index[n] {
+				if _, dup := seen[g]; dup {
+					continue
+				}
+				if seen == nil {
+					seen = make(map[*group]struct{})
+				}
+				seen[g] = struct{}{}
+				h.markDirtyLocked(g, fx.Epoch, fx.OldestAt)
+			}
+		}
+		for _, n := range fx.Endpoints {
+			mark(n)
+		}
+		for _, n := range fx.StaleLandmarks {
+			mark(n)
+		}
+		for _, n := range fx.Refreshed {
+			mark(n)
+		}
+	}
+	h.kickLocked()
+	h.mu.Unlock()
+}
+
+// markDirtyLocked records one dirty mark on g: queued groups absorb it
+// (the coalescing win — one re-score per group per drain no matter how
+// many batches land first). Caller holds mu.
+func (h *Hub) markDirtyLocked(g *group, epoch uint64, ingestNs int64) {
+	h.stats.RescoreMarks++
+	if h.mMarks != nil {
+		h.mMarks.Inc()
+	}
+	if epoch > g.epoch {
+		g.epoch = epoch
+	}
+	if ingestNs != 0 && (g.ingestNs == 0 || ingestNs < g.ingestNs) {
+		g.ingestNs = ingestNs
+	}
+	if g.pending {
+		h.stats.RescoresCoalesced++
+		if h.mCoalesced != nil {
+			h.mCoalesced.Inc()
+		}
+		return
+	}
+	g.pending = true
+	h.dirty = append(h.dirty, g)
+}
+
+// kickLocked wakes the worker if it is parked. Caller holds mu (not
+// required, but every caller already does).
+func (h *Hub) kickLocked() {
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (h *Hub) indexLocked(g *group, nodes []graph.NodeID) {
+	g.nodes = nodes
+	for _, n := range nodes {
+		m := h.index[n]
+		if m == nil {
+			m = make(map[*group]struct{})
+			h.index[n] = m
+		}
+		m[g] = struct{}{}
+	}
+}
+
+func (h *Hub) unindexLocked(g *group) {
+	for _, n := range g.nodes {
+		if m := h.index[n]; m != nil {
+			delete(m, g)
+			if len(m) == 0 {
+				delete(h.index, n)
+			}
+		}
+	}
+	g.nodes = nil
+}
+
+// worker drains the dirty queue, RescoreBudget groups per cycle, backing
+// off after failed cycles so a saturated or broken compute path cannot
+// spin it.
+func (h *Hub) worker() {
+	defer close(h.done)
+	fails := 0
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.wake:
+		}
+		for {
+			batch := h.takeBatch()
+			if len(batch) == 0 {
+				break
+			}
+			anyErr := false
+			for _, it := range batch {
+				if err := h.rescore(it); err != nil {
+					anyErr = true
+				}
+			}
+			if !anyErr {
+				fails = 0
+				continue
+			}
+			fails++
+			backoff := 25 * time.Millisecond << min(fails, 5)
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(backoff):
+			}
+		}
+	}
+}
+
+// takeBatch pops up to RescoreBudget non-empty dirty groups, snapshotting
+// their trigger metadata and counting them inflight until re-scored.
+func (h *Hub) takeBatch() []takeItem {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []takeItem
+	for len(out) < h.cfg.RescoreBudget && len(h.dirty) > 0 {
+		g := h.dirty[0]
+		h.dirty[0] = nil
+		h.dirty = h.dirty[1:]
+		g.pending = false
+		if len(g.subs) == 0 {
+			g.ingestNs = 0
+			continue
+		}
+		out = append(out, takeItem{g: g, epoch: g.epoch, ingestNs: g.ingestNs})
+		g.ingestNs = 0
+	}
+	h.inflight += len(out)
+	return out
+}
+
+// rescore recomputes one group's top-k and pushes diffs to its members.
+func (h *Hub) rescore(it takeItem) error {
+	defer func() {
+		h.mu.Lock()
+		h.inflight--
+		h.mu.Unlock()
+	}()
+	g := it.g
+	res, err := h.cfg.Compute(context.Background(), g.key)
+	if err != nil {
+		h.mu.Lock()
+		h.stats.RescoreFailures++
+		if h.mFailures != nil {
+			h.mFailures.Inc()
+		}
+		// Re-queue so the state is retried; the worker's backoff paces
+		// the retries.
+		if len(g.subs) > 0 {
+			h.markDirtyLocked(g, it.epoch, it.ingestNs)
+		}
+		h.mu.Unlock()
+		return err
+	}
+	// The graph moved under this group; follow it with a fresh dependency
+	// set before pushing, so the next batch marks against current edges.
+	nodes := h.cfg.Neighborhood(g.key)
+
+	top := make([]client.Entry, len(res.Scored))
+	for i, sc := range res.Scored {
+		top[i] = client.Entry{User: uint32(sc.Node), Score: sc.Score}
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		// Close already woke (and permanently closed) every notify
+		// channel; pushing would close them a second time.
+		return nil
+	}
+	h.stats.Rescores++
+	if h.mRescores != nil {
+		h.mRescores.Inc()
+	}
+	if len(g.subs) == 0 {
+		// Every member unsubscribed mid-compute; the group is unindexed.
+		return nil
+	}
+	h.unindexLocked(g)
+	h.indexLocked(g, nodes)
+	var lat float64 = -1
+	if it.ingestNs > 0 {
+		lat = float64(time.Now().UnixNano()-it.ingestNs) / 1e9
+	}
+	for s := range g.subs {
+		ev, changed := diffEvent(s.last, top, res.Degraded, it, s.seq+1, s.last == nil)
+		if !changed {
+			h.stats.PushesSuppressed++
+			if h.mSuppressed != nil {
+				h.mSuppressed.Inc()
+			}
+			continue
+		}
+		s.seq = ev.Seq
+		s.events = append(s.events, ev)
+		if excess := len(s.events) - h.cfg.EventBuffer; excess > 0 {
+			s.events = append(s.events[:0], s.events[excess:]...)
+		}
+		s.last = top
+		close(s.notify)
+		s.notify = make(chan struct{})
+		h.stats.EventsPushed++
+		if h.mPushed != nil {
+			h.mPushed.Inc()
+		}
+		if lat >= 0 && h.mPushLat != nil {
+			h.mPushLat.Observe(lat)
+		}
+	}
+	return nil
+}
+
+// diffEvent builds the delta event from the previously pushed top-k to
+// next. changed is false when membership and order are identical —
+// score-only drift — and reset subs (last == nil) always change.
+func diffEvent(last []client.Entry, next []client.Entry, degraded bool, it takeItem, seq uint64, reset bool) (client.Event, bool) {
+	if !reset && len(last) == len(next) {
+		same := true
+		for i := range next {
+			if last[i].User != next[i].User {
+				same = false
+				break
+			}
+		}
+		if same {
+			return client.Event{}, false
+		}
+	}
+	ev := client.Event{
+		Seq:           seq,
+		Epoch:         it.epoch,
+		Reset:         reset,
+		Degraded:      degraded,
+		Top:           next,
+		TriggerUnixNs: it.ingestNs,
+	}
+	if !reset {
+		oldIdx := make(map[uint32]int, len(last))
+		for i, e := range last {
+			oldIdx[e.User] = i
+		}
+		inNext := make(map[uint32]bool, len(next))
+		for i, e := range next {
+			inNext[e.User] = true
+			if j, ok := oldIdx[e.User]; !ok {
+				ev.Added = append(ev.Added, e.User)
+			} else if j != i {
+				ev.Moved = append(ev.Moved, e.User)
+			}
+		}
+		for _, e := range last {
+			if !inNext[e.User] {
+				ev.Removed = append(ev.Removed, e.User)
+			}
+		}
+	}
+	return ev, true
+}
+
+// EventsSince returns the buffered events of id with Seq > after, plus a
+// channel that closes on the next push (for blocking when the slice is
+// empty). When after has lapsed out of the ring: with resync true it
+// synthesizes a Reset snapshot event carrying the current top-k (the
+// connect-time recovery), otherwise it fails with ErrLapsed and counts a
+// dropped slow consumer (the mid-stream disconnect).
+func (h *Hub) EventsSince(id string, after uint64, resync bool) ([]client.Event, <-chan struct{}, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Closed first: the subs map survives Close (readers may still be
+	// draining), but their notify channels are permanently closed — serving
+	// events here would spin a blocked reader instead of ending it.
+	if h.closed {
+		return nil, nil, ErrClosed
+	}
+	s, ok := h.subs[id]
+	if !ok {
+		return nil, nil, ErrUnknown
+	}
+	oldest := s.seq - uint64(len(s.events)) + 1
+	if len(s.events) > 0 && after+1 < oldest {
+		if !resync {
+			h.stats.DroppedSlowConsumers++
+			if h.mDropped != nil {
+				h.mDropped.Inc()
+			}
+			return nil, nil, ErrLapsed
+		}
+		ev := client.Event{Seq: s.seq, Epoch: h.epoch, Reset: true, Top: s.last}
+		return []client.Event{ev}, s.notify, nil
+	}
+	var out []client.Event
+	for _, ev := range s.events {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, s.notify, nil
+}
+
+// Get returns the key of a registered subscription.
+func (h *Hub) Get(id string) (Key, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return Key{}, false
+	}
+	return s.grp.key, true
+}
+
+// Flush blocks until the hub is quiescent — no dirty groups queued and
+// no re-score inflight — or ctx expires. Test and bench support.
+func (h *Hub) Flush(ctx context.Context) error {
+	for {
+		h.mu.Lock()
+		idle := len(h.dirty) == 0 && h.inflight == 0
+		h.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Stats snapshots the hub counters.
+func (h *Hub) Stats() client.SubscriptionStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.Active = len(h.subs)
+	st.Groups = len(h.groups)
+	st.DirtyQueue = len(h.dirty)
+	return st
+}

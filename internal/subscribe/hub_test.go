@@ -1,0 +1,436 @@
+package subscribe
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/ranking"
+)
+
+// fakeCompute is a controllable stand-in for the server's serving path:
+// the top-k it returns is swappable, and it can be gated to hold the
+// worker mid-re-score.
+type fakeCompute struct {
+	mu      sync.Mutex
+	top     []ranking.Scored
+	err     error
+	started chan struct{} // one send per Compute entry, if non-nil
+	gate    chan struct{} // one receive per Compute exit, if non-nil
+	calls   atomic.Int64
+}
+
+func (f *fakeCompute) set(top []ranking.Scored) {
+	f.mu.Lock()
+	f.top = top
+	f.mu.Unlock()
+}
+
+func (f *fakeCompute) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *fakeCompute) compute(ctx context.Context, k Key) (Result, error) {
+	f.calls.Add(1)
+	if f.started != nil {
+		f.started <- struct{}{}
+	}
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return Result{}, f.err
+	}
+	return Result{Scored: append([]ranking.Scored(nil), f.top...)}, nil
+}
+
+func scored(ids ...graph.NodeID) []ranking.Scored {
+	out := make([]ranking.Scored, len(ids))
+	for i, id := range ids {
+		out[i] = ranking.Scored{Node: id, Score: float64(len(ids) - i)}
+	}
+	return out
+}
+
+// newTestHub wires a hub over fakeCompute with a fixed dependency set.
+func newTestHub(t *testing.T, fc *fakeCompute, nodes []graph.NodeID, cfg Config) *Hub {
+	t.Helper()
+	cfg.Compute = fc.compute
+	cfg.Neighborhood = func(Key) []graph.NodeID { return nodes }
+	h := New(cfg)
+	t.Cleanup(h.Close)
+	return h
+}
+
+func flush(t *testing.T, h *Hub) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+func TestRegisterPushesInitialReset(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2, 3)}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2, 3}, Config{})
+	id, err := h.Register(Key{User: 7, N: 3, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, h)
+	events, _, err := h.EventsSince(id, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("%d events after register, want 1 (Reset)", len(events))
+	}
+	ev := events[0]
+	if !ev.Reset || ev.Seq != 1 || len(ev.Top) != 3 || ev.Top[0].User != 1 {
+		t.Errorf("initial event = %+v, want a Reset snapshot of [1 2 3]", ev)
+	}
+	if len(ev.Added)+len(ev.Removed)+len(ev.Moved) != 0 {
+		t.Errorf("Reset event carries diffs: %+v", ev)
+	}
+}
+
+// TestMarksCoalesce pins the coalescing invariant: marks landing while a
+// group is queued (or mid-re-score, then queued) fold into one pending
+// entry — one re-score per (group, generation) no matter how many
+// batches land first.
+func TestMarksCoalesce(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2), started: make(chan struct{}), gate: make(chan struct{})}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2}, Config{})
+	if _, err := h.Register(Key{User: 7, N: 2, Method: "landmark"}); err != nil {
+		t.Fatal(err)
+	}
+	<-fc.started // worker is inside the initial re-score, group not pending
+	for i := 0; i < 3; i++ {
+		h.OnBatch(dynamic.BatchEffect{Epoch: uint64(i + 1), Endpoints: []graph.NodeID{1}})
+	}
+	fc.gate <- struct{}{} // finish the initial re-score
+	<-fc.started          // the three marks collapsed into this one
+	fc.gate <- struct{}{}
+	flush(t, h)
+	st := h.Stats()
+	if st.Rescores != 2 {
+		t.Errorf("rescores = %d, want 2 (initial + one coalesced batch)", st.Rescores)
+	}
+	if st.RescoresCoalesced != 2 {
+		t.Errorf("rescores_coalesced = %d, want 2 (marks 2 and 3 absorbed)", st.RescoresCoalesced)
+	}
+	if st.RescoreMarks != 4 {
+		t.Errorf("rescore_marks = %d, want 4 (register + 3 batches)", st.RescoreMarks)
+	}
+}
+
+// TestDiffSuppressionAndDeltas drives the three delta outcomes: unchanged
+// top-k pushes nothing, a reorder pushes Moved, membership change pushes
+// Added/Removed — with contiguous sequence numbers.
+func TestDiffSuppressionAndDeltas(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2, 3)}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2, 3}, Config{})
+	id, err := h.Register(Key{User: 7, N: 3, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, h)
+
+	// Same membership and order, different scores: suppressed.
+	fc.set([]ranking.Scored{{Node: 1, Score: 9}, {Node: 2, Score: 8}, {Node: 3, Score: 7}})
+	h.OnBatch(dynamic.BatchEffect{Epoch: 1, Endpoints: []graph.NodeID{2}})
+	flush(t, h)
+	if events, _, _ := h.EventsSince(id, 1, false); len(events) != 0 {
+		t.Fatalf("score-only drift pushed %d events, want 0", len(events))
+	}
+	if st := h.Stats(); st.PushesSuppressed != 1 {
+		t.Errorf("pushes_suppressed = %d, want 1", st.PushesSuppressed)
+	}
+
+	// Reorder: Moved only.
+	fc.set(scored(2, 1, 3))
+	h.OnBatch(dynamic.BatchEffect{Epoch: 2, Endpoints: []graph.NodeID{2}})
+	flush(t, h)
+	events, _, _ := h.EventsSince(id, 1, false)
+	if len(events) != 1 {
+		t.Fatalf("reorder pushed %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Seq != 2 || ev.Reset {
+		t.Errorf("reorder event = %+v, want seq 2, not reset", ev)
+	}
+	if len(ev.Added) != 0 || len(ev.Removed) != 0 || len(ev.Moved) != 2 {
+		t.Errorf("reorder diffs = added %v removed %v moved %v, want only [2 1] moved",
+			ev.Added, ev.Removed, ev.Moved)
+	}
+
+	// Membership change: Added/Removed.
+	fc.set(scored(2, 1, 9))
+	h.OnBatch(dynamic.BatchEffect{Epoch: 3, Endpoints: []graph.NodeID{1}})
+	flush(t, h)
+	events, _, _ = h.EventsSince(id, 2, false)
+	if len(events) != 1 {
+		t.Fatalf("membership change pushed %d events, want 1", len(events))
+	}
+	ev = events[0]
+	if ev.Seq != 3 {
+		t.Errorf("seq = %d, want 3 (contiguous)", ev.Seq)
+	}
+	if len(ev.Added) != 1 || ev.Added[0] != 9 || len(ev.Removed) != 1 || ev.Removed[0] != 3 {
+		t.Errorf("diffs = added %v removed %v, want added [9] removed [3]", ev.Added, ev.Removed)
+	}
+	if ev.Epoch != 3 {
+		t.Errorf("event epoch = %d, want 3", ev.Epoch)
+	}
+}
+
+// TestAffectedIndexBoundsRescores is the efficiency gate at hub scope:
+// batches touching no subscribed neighborhood trigger zero re-scores;
+// batches touching it (or global effects) trigger exactly one.
+func TestAffectedIndexBoundsRescores(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2)}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2, 3}, Config{})
+	if _, err := h.Register(Key{User: 7, N: 2, Method: "landmark"}); err != nil {
+		t.Fatal(err)
+	}
+	flush(t, h)
+	base := h.Stats().Rescores
+
+	// Disconnected region: no marks, no re-scores.
+	for i := 0; i < 5; i++ {
+		h.OnBatch(dynamic.BatchEffect{Epoch: uint64(i + 1), Endpoints: []graph.NodeID{100, 200}})
+	}
+	flush(t, h)
+	if st := h.Stats(); st.Rescores != base || st.RescoreMarks != 1 {
+		t.Errorf("disconnected batches: rescores %d (want %d), marks %d (want 1)",
+			st.Rescores, base, st.RescoreMarks)
+	}
+
+	// A touched dependency node re-scores once.
+	h.OnBatch(dynamic.BatchEffect{Epoch: 10, Endpoints: []graph.NodeID{3}})
+	flush(t, h)
+	if st := h.Stats(); st.Rescores != base+1 {
+		t.Errorf("touching batch: rescores = %d, want %d", st.Rescores, base+1)
+	}
+
+	// Global effects always re-score.
+	h.OnBatch(dynamic.BatchEffect{Epoch: 11, Global: true})
+	flush(t, h)
+	if st := h.Stats(); st.Rescores != base+2 {
+		t.Errorf("global batch: rescores = %d, want %d", st.Rescores, base+2)
+	}
+
+	// Stale/refreshed landmark nodes mark through the same index.
+	h.OnBatch(dynamic.BatchEffect{Epoch: 12, StaleLandmarks: []graph.NodeID{2}})
+	flush(t, h)
+	if st := h.Stats(); st.Rescores != base+3 {
+		t.Errorf("stale-landmark batch: rescores = %d, want %d", st.Rescores, base+3)
+	}
+}
+
+// TestSharedGroupSingleRescore: S subscribers of one key cost one
+// re-score per drain, and each gets its own event stream.
+func TestSharedGroupSingleRescore(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2)}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2}, Config{})
+	k := Key{User: 7, N: 2, Method: "landmark"}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := h.Register(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	flush(t, h)
+	if st := h.Stats(); st.Groups != 1 || st.Active != 4 {
+		t.Fatalf("stats = %+v, want 1 group, 4 active", st)
+	}
+	preCalls := fc.calls.Load()
+	fc.set(scored(2, 1))
+	h.OnBatch(dynamic.BatchEffect{Epoch: 1, Endpoints: []graph.NodeID{1}})
+	flush(t, h)
+	if got := fc.calls.Load() - preCalls; got != 1 {
+		t.Errorf("4 subscribers cost %d computes for one batch, want 1", got)
+	}
+	for _, id := range ids {
+		events, _, err := h.EventsSince(id, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) == 0 || events[len(events)-1].Top[0].User != 2 {
+			t.Errorf("sub %s missed the shared delta: %+v", id, events)
+		}
+	}
+}
+
+// TestLapseResyncAndDrop pins both lapse semantics on a tiny ring: a
+// connect-time reader resyncs with one synthesized Reset snapshot; a
+// mid-stream reader is dropped with ErrLapsed and counted.
+func TestLapseResyncAndDrop(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2)}
+	h := newTestHub(t, fc, []graph.NodeID{1, 2}, Config{EventBuffer: 2})
+	id, err := h.Register(Key{User: 7, N: 2, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, h)
+	// Push 4 more deltas; the ring keeps only the last 2.
+	tops := [][]graph.NodeID{{2, 1}, {1, 2}, {2, 1}, {1, 2}}
+	for i, ids := range tops {
+		fc.set(scored(ids...))
+		h.OnBatch(dynamic.BatchEffect{Epoch: uint64(i + 1), Endpoints: []graph.NodeID{1}})
+		flush(t, h)
+	}
+
+	// after=0 lapsed out of the ring (oldest buffered seq is 4).
+	events, _, err := h.EventsSince(id, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].Reset || events[0].Seq != 5 {
+		t.Fatalf("resync = %+v, want one Reset at seq 5", events)
+	}
+	if events[0].Top[0].User != 1 {
+		t.Errorf("resync snapshot top = %+v, want current [1 2]", events[0].Top)
+	}
+
+	if _, _, err := h.EventsSince(id, 0, false); !errors.Is(err, ErrLapsed) {
+		t.Fatalf("mid-stream lapse error = %v, want ErrLapsed", err)
+	}
+	if st := h.Stats(); st.DroppedSlowConsumers != 1 {
+		t.Errorf("dropped_slow_consumers = %d, want 1", st.DroppedSlowConsumers)
+	}
+
+	// An in-window reader replays the tail without resync.
+	events, _, err = h.EventsSince(id, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Seq != 4 || events[1].Seq != 5 {
+		t.Errorf("tail replay = %+v, want seqs [4 5]", events)
+	}
+}
+
+func TestLimitAndUnsubscribe(t *testing.T) {
+	fc := &fakeCompute{top: scored(1)}
+	h := newTestHub(t, fc, []graph.NodeID{1}, Config{MaxSubscriptions: 1})
+	id, err := h.Register(Key{User: 1, N: 1, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Register(Key{User: 2, N: 1, Method: "landmark"}); !errors.Is(err, ErrLimit) {
+		t.Fatalf("over-limit register error = %v, want ErrLimit", err)
+	}
+	flush(t, h)
+
+	// A blocked reader wakes on unsubscribe and then sees ErrUnknown.
+	_, notify, err := h.EventsSince(id, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		<-notify
+		close(done)
+	}()
+	if err := h.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader not woken by unsubscribe")
+	}
+	if _, _, err := h.EventsSince(id, 0, false); !errors.Is(err, ErrUnknown) {
+		t.Errorf("events after unsubscribe: %v, want ErrUnknown", err)
+	}
+	if err := h.Unsubscribe(id); !errors.Is(err, ErrUnknown) {
+		t.Errorf("double unsubscribe: %v, want ErrUnknown", err)
+	}
+	if st := h.Stats(); st.Active != 0 || st.Groups != 0 {
+		t.Errorf("stats after teardown = %+v, want empty", st)
+	}
+	// Room freed: registering succeeds again.
+	if _, err := h.Register(Key{User: 3, N: 1, Method: "landmark"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRescoreFailureRetries: a failing compute path re-queues the group
+// and the delta arrives once compute recovers; the failure is counted.
+func TestRescoreFailureRetries(t *testing.T) {
+	fc := &fakeCompute{top: scored(1, 2)}
+	fc.setErr(errors.New("engine saturated"))
+	h := newTestHub(t, fc, []graph.NodeID{1, 2}, Config{})
+	id, err := h.Register(Key{User: 7, N: 2, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Stats().RescoreFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no failure recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fc.setErr(nil)
+	// The retried re-score (paced by the worker's backoff) delivers the
+	// initial Reset.
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery never delivered the snapshot")
+		}
+		events, _, err := h.EventsSince(id, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) == 1 && events[0].Reset {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := h.Stats(); st.RescoreFailures == 0 {
+		t.Error("rescore_failures = 0 after a failing compute")
+	}
+}
+
+// TestClosedHub: operations on a closed hub fail cleanly and blocked
+// readers wake.
+func TestClosedHub(t *testing.T) {
+	fc := &fakeCompute{top: scored(1)}
+	cfg := Config{Compute: fc.compute, Neighborhood: func(Key) []graph.NodeID { return []graph.NodeID{1} }}
+	h := New(cfg)
+	id, err := h.Register(Key{User: 1, N: 1, Method: "landmark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush(t, h)
+	_, notify, err := h.EventsSince(id, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	select {
+	case <-notify:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader not woken by Close")
+	}
+	if _, _, err := h.EventsSince(id, 0, false); !errors.Is(err, ErrClosed) {
+		t.Errorf("events on closed hub: %v, want ErrClosed", err)
+	}
+	if _, err := h.Register(Key{User: 2, N: 1, Method: "landmark"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("register on closed hub: %v, want ErrClosed", err)
+	}
+	h.Close() // idempotent
+}
